@@ -1,0 +1,88 @@
+// Extension bench: performance through failures.
+//
+// The paper's motivation says a worn-out cache "hurts the reliability and
+// availability of the storage system" and that user requests "will be
+// adversely affected by the re-synchronization of RAID storage". This bench
+// quantifies the availability story on the real data plane:
+//   healthy            — baseline closed-loop latency,
+//   degraded           — one disk down (reads of its pages reconstruct from
+//                        the whole stripe),
+//   post-SSD-failure   — KDD resynchronised the array and restarted cold.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "blockdev/ssd_model.hpp"
+#include "sim/event_sim.hpp"
+#include "trace/zipf_workload.hpp"
+
+namespace {
+
+using namespace kdd;
+
+double run_phase(CachePolicy* policy, const RaidGeometry& geo,
+                 std::uint64_t requests, double read_rate, std::uint64_t seed) {
+  EventSimulator sim(paper_sim_config(geo.num_disks), policy);
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = geo.data_pages() / 2;
+  wcfg.total_requests = requests;
+  wcfg.read_rate = read_rate;
+  wcfg.array_pages = geo.data_pages();
+  wcfg.seed = seed;
+  ZipfWorkload workload(wcfg);
+  return sim.run_closed_loop(workload, 16).mean_response_ms();
+}
+
+}  // namespace
+
+int main() {
+  using namespace kdd;
+  const double scale = experiment_scale();
+  bench::banner("Extension", "availability: degraded mode and failure recovery",
+                scale);
+
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 16;
+  geo.disk_pages = std::max<std::uint64_t>(
+      2048, static_cast<std::uint64_t>(16384.0 * scale * 4));
+  const auto requests = std::max<std::uint64_t>(
+      2000, static_cast<std::uint64_t>(65536.0 * scale * 4));
+
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = geo.data_pages() / 4;
+  SsdModel ssd(scfg);
+  PolicyConfig cfg;
+  cfg.ssd_pages = scfg.logical_pages;
+  KddCache kdd(cfg, &array, &ssd);
+
+  TextTable table({"Phase", "Mean resp (ms)", "Notes"});
+
+  const double healthy = run_phase(&kdd, geo, requests, 0.5, 1);
+  table.add_row({"healthy", TextTable::num(healthy, 2), "warm cache"});
+
+  // One disk dies; requests continue in degraded mode. KDD's protocol first
+  // flushes stale parity (handle_disk_failure does flush + rebuild; here we
+  // measure the degraded window *before* rebuild by failing the disk only).
+  kdd.flush();
+  array.fail_disk(2);
+  const double degraded = run_phase(&kdd, geo, requests / 2, 0.5, 2);
+  table.add_row({"degraded (1 disk down)", TextTable::num(degraded, 2),
+                 "misses reconstruct from n-1 disks"});
+  array.rebuild_disk(2);
+  const double rebuilt = run_phase(&kdd, geo, requests / 2, 0.5, 3);
+  table.add_row({"after rebuild", TextTable::num(rebuilt, 2), ""});
+
+  // Cache device failure: resync + cold restart.
+  const std::uint64_t resynced = kdd.handle_ssd_failure();
+  const double cold = run_phase(&kdd, geo, requests / 2, 0.5, 4);
+  table.add_row({"after SSD failure", TextTable::num(cold, 2),
+                 "resynced " + std::to_string(resynced) + " groups, cache cold"});
+
+  table.print();
+  std::printf("\nDegraded-mode misses pay the reconstruct penalty; after the SSD "
+              "dies, KDD's resync keeps data intact (RPO = 0) at the cost of a "
+              "cold cache.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 4: effect of the metadata partition size on metadata I/Os.
+//
+// Sweeps the partition size (fraction of the SSD reserved for the circular
+// metadata log) for every workload at two cache sizes and reports the ratio
+// of metadata page writes to total cache write traffic. Paper: at 0.59 % the
+// fraction stays below 1.55/1.42/1.51/1.79 % for Fin1/Fin2/Hm0/Web0; smaller
+// partitions pay more log GC.
+//
+// Note: with 16-byte entries and a 0.90 GC threshold, partitions below
+// ~0.45 % cannot hold one live entry per cache slot and would livelock the
+// circular log, so the paper's 0.39 % point is clamped to the 0.45 % floor
+// (see plan_cache_layout).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace kdd;
+  const double scale = experiment_scale();
+  bench::banner("Figure 4", "metadata I/O fraction vs. metadata partition size", scale);
+
+  const double fractions[] = {0.0039, 0.0059, 0.0078, 0.0098};
+
+  for (const char* workload : {"Fin1", "Fin2", "Hm0", "Web0"}) {
+    const Trace trace = generate_preset(workload, scale);
+    const TraceStats tstats = compute_stats(trace);
+    const RaidGeometry geo = paper_geometry(tstats.max_page);
+
+    TextTable table({"Cache size", "0.39%*", "0.59%", "0.78%", "0.98%"});
+    for (const double cache_frac : {0.10, 0.30}) {
+      const auto ssd_pages = static_cast<std::uint64_t>(
+          cache_frac * static_cast<double>(tstats.unique_pages_total));
+      std::vector<std::string> row{bench::kpages(ssd_pages)};
+      for (const double meta_frac : fractions) {
+        PolicyConfig cfg;
+        cfg.ssd_pages = ssd_pages;
+        cfg.metadata_fraction = meta_frac;
+        cfg.delta_ratio_mean = 0.25;  // medium content locality, as in the paper
+        KddCache kdd(cfg, geo);
+        const CacheStats s = run_counter_trace(kdd, trace, geo.data_pages());
+        const double ratio = static_cast<double>(s.metadata_ssd_writes()) /
+                             static_cast<double>(s.total_ssd_writes());
+        row.push_back(bench::pct(ratio));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("--- %s ---\n", workload);
+    table.print();
+    std::printf("(* clamped to the 0.45%% feasibility floor)\n\n");
+  }
+  std::printf("Paper: <= 1.55%% / 1.42%% / 1.51%% / 1.79%% metadata share at 0.59%%.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 5: cache hit ratios of WT, LeavO and KDD-50/25/12 % under the
+// write-dominant traces (Fin1, Hm0), swept over cache size.
+// Expected shape (paper): WT highest, KDD between (higher with stronger
+// content locality), LeavO lowest.
+#include "figure_sweep.hpp"
+
+int main() {
+  kdd::bench::run_cache_size_sweep(
+      {"Figure 5", "cache hit ratios (write-dominant traces)", {"Fin1", "Hm0"}, false});
+  return 0;
+}

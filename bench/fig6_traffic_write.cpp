@@ -1,0 +1,11 @@
+// Figure 6: SSD write traffic under the write-dominant traces (Fin1, Hm0).
+// Expected shape (paper): WA least, then KDD (improving with locality), then
+// WT, LeavO most. KDD-50/25/12 cut up to 37.6/57.6/67.6 % vs WT on Fin1 and
+// 45.7/67.7/78.6 % on Hm0; vs LeavO up to 72.6 % / 80.4 % (5.1x lifetime).
+#include "figure_sweep.hpp"
+
+int main() {
+  kdd::bench::run_cache_size_sweep(
+      {"Figure 6", "SSD write traffic (write-dominant traces)", {"Fin1", "Hm0"}, true});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7: cache hit ratios under the read-dominant traces (Fin2, Web0).
+// Expected shape (paper): LeavO smallest; on Web0 with small caches KDD can
+// exceed WT because its pinned old/delta pages match Web0's hot write set.
+#include "figure_sweep.hpp"
+
+int main() {
+  kdd::bench::run_cache_size_sweep(
+      {"Figure 7", "cache hit ratios (read-dominant traces)", {"Fin2", "Web0"}, false});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 8: SSD write traffic under the read-dominant traces (Fin2, Web0).
+// Expected shape (paper): reductions are smaller than Fig. 6 because
+// read-miss fills dominate; KDD-12 % can drop below WA at large cache sizes
+// on Fin2.
+#include "figure_sweep.hpp"
+
+int main() {
+  kdd::bench::run_cache_size_sweep(
+      {"Figure 8", "SSD write traffic (read-dominant traces)", {"Fin2", "Web0"}, true});
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared sweep runner for Figures 5-8: cache-size sweep of {WA,} WT, LeavO
+// and KDD at three content-locality levels over a trace, reporting hit
+// ratios or SSD write traffic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace kdd::bench {
+
+/// When KDD_CSV=<dir> is set, every sweep also lands as a CSV in that
+/// directory (one file per figure+workload) for plotting.
+inline void maybe_write_csv(const TextTable& table, const std::string& figure,
+                            const std::string& workload) {
+  const char* dir = std::getenv("KDD_CSV");
+  if (!dir || !*dir) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string name = figure + "_" + workload + ".csv";
+  for (char& c : name) {
+    if (c == ' ' || c == '/') c = '_';
+  }
+  const std::string path = std::string(dir) + "/" + name;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    table.print_csv(f);
+    std::fclose(f);
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+struct FigureConfig {
+  const char* figure;
+  const char* metric;  ///< "hit ratio" or "SSD write traffic"
+  std::vector<const char*> workloads;
+  bool traffic_mode = false;  ///< false: hit ratios (Figs 5/7); true: traffic (6/8)
+};
+
+inline void run_cache_size_sweep(const FigureConfig& fig) {
+  const double scale = experiment_scale();
+  banner(fig.figure, fig.metric, scale);
+
+  for (const char* workload : fig.workloads) {
+    const Trace trace = generate_preset(workload, scale);
+    const TraceStats tstats = compute_stats(trace);
+    const RaidGeometry geo = paper_geometry(tstats.max_page);
+
+    std::printf("--- %s (unique pages: %lluk) ---\n", workload,
+                static_cast<unsigned long long>(tstats.unique_pages_total / 1000));
+
+    std::vector<std::string> header{"Cache size"};
+    std::vector<std::pair<PolicyKind, double>> configs;
+    if (fig.traffic_mode) configs.emplace_back(PolicyKind::kWA, 0.25);
+    configs.emplace_back(PolicyKind::kWT, 0.25);
+    configs.emplace_back(PolicyKind::kLeavO, 0.25);
+    for (const double locality : kLocalityLevels) {
+      configs.emplace_back(PolicyKind::kKdd, locality);
+    }
+    for (const auto& [kind, locality] : configs) {
+      std::string name = policy_kind_name(kind);
+      if (kind == PolicyKind::kKdd) {
+        name += "-" + TextTable::num(locality * 100, 0) + "%";
+      }
+      header.push_back(name);
+    }
+    if (fig.traffic_mode) {
+      header.push_back("KDD-25 vs WT");
+      header.push_back("KDD-25 vs LeavO");
+    }
+    TextTable table(header);
+
+    for (const double frac : cache_fractions()) {
+      const auto ssd_pages = static_cast<std::uint64_t>(
+          frac * static_cast<double>(tstats.unique_pages_total));
+      std::vector<std::string> row{kpages(ssd_pages)};
+      double wt_traffic = 0, leavo_traffic = 0, kdd25_traffic = 0;
+      for (const auto& [kind, locality] : configs) {
+        const CacheStats s =
+            run_policy_on_trace(kind, locality, ssd_pages, trace, geo);
+        if (fig.traffic_mode) {
+          const double gib =
+              static_cast<double>(s.write_traffic_bytes()) / static_cast<double>(kGiB);
+          row.push_back(TextTable::num(gib, 2));
+          if (kind == PolicyKind::kWT) wt_traffic = gib;
+          if (kind == PolicyKind::kLeavO) leavo_traffic = gib;
+          if (kind == PolicyKind::kKdd && locality == 0.25) kdd25_traffic = gib;
+        } else {
+          row.push_back(pct(s.hit_ratio()));
+        }
+      }
+      if (fig.traffic_mode) {
+        row.push_back("-" + pct(1.0 - kdd25_traffic / wt_traffic));
+        row.push_back("-" + pct(1.0 - kdd25_traffic / leavo_traffic));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    maybe_write_csv(table, fig.figure, workload);
+    std::printf("%s\n", fig.traffic_mode ? "(GiB written to SSD; lower is better)\n"
+                                         : "(overall hit ratio; higher is better)\n");
+  }
+}
+
+}  // namespace kdd::bench

@@ -1,0 +1,21 @@
+# Gnuplot recipe for the per-figure CSV output.
+#
+# Generate the data, then plot:
+#   KDD_CSV=results ./build/bench/fig6_traffic_write
+#   gnuplot -e "csv='results/Figure_6_Fin1.csv'; out='fig6_fin1.png'" docs/plot_figures.gp
+#
+# Works for any of the Figure 5-8 CSVs (first column = cache size, remaining
+# columns = one series per policy).
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'DejaVu Sans,11'
+set output out
+set key outside right top
+set grid ytics
+set xlabel 'cache size'
+set ylabel 'hit ratio / GiB written'
+set style data linespoints
+stats csv skip 1 nooutput
+N = STATS_columns
+plot for [i=2:N] csv using 0:(real(strcol(i))) every ::1 \
+     title columnheader(i) lw 2 pt 7 ps 0.8, \
+     '' using 0:(real(strcol(2))):xtic(1) every ::1 notitle lc rgb '#00000000'

@@ -1,0 +1,145 @@
+// Failure drill: the three recovery scenarios of Section III-E, end to end
+// with real data — plus a demonstration of the vulnerability window KDD
+// closes (rebuilding from stale parity corrupts data).
+//
+//   1. Power failure: the in-memory primary map is lost; the cache rebuilds
+//      itself from the on-SSD circular metadata log + NVRAM buffers.
+//   2. SSD (cache device) failure: the array resynchronises by
+//      reconstruct-write; no data is lost (RPO = 0).
+//   3. HDD failure: KDD flushes all stale parity through the parity_update
+//      interface, then rebuilds the disk — zero groups rebuilt from stale
+//      parity.
+#include <cstdio>
+
+#include "blockdev/ssd_model.hpp"
+#include "compress/content.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "raid/raid_array.hpp"
+
+namespace {
+
+using namespace kdd;
+
+RaidGeometry geo() {
+  RaidGeometry g;
+  g.level = RaidLevel::kRaid5;
+  g.num_disks = 5;
+  g.chunk_pages = 16;
+  g.disk_pages = 4096;
+  return g;
+}
+
+SsdConfig ssd_cfg() {
+  SsdConfig c;
+  c.logical_pages = 2048;
+  return c;
+}
+
+PolicyConfig cache_cfg() {
+  PolicyConfig c;
+  c.ssd_pages = 2048;
+  return c;
+}
+
+struct Rig {
+  Rig() : array(geo()), ssd(ssd_cfg()), nvram(kPageSize, 255) {
+    kdd = std::make_unique<KddCache>(cache_cfg(), &array, &ssd, &nvram);
+  }
+
+  void workload(std::uint64_t seed, int iters) {
+    const ContentGenerator gen(3);
+    Rng rng(seed);
+    for (int i = 0; i < iters; ++i) {
+      const Lba lba = rng.next_below(800);
+      auto it = truth.find(lba);
+      Page next = it == truth.end() ? gen.base_page(lba)
+                                    : gen.mutate(it->second, 0.2, rng);
+      kdd->write(lba, next);
+      truth[lba] = std::move(next);
+    }
+  }
+
+  bool verify() {
+    Page buf = make_page();
+    for (const auto& [lba, page] : truth) {
+      if (kdd->read(lba, buf) != IoStatus::kOk || buf != page) return false;
+    }
+    return true;
+  }
+
+  RaidArray array;
+  SsdModel ssd;
+  NvramState nvram;
+  std::unique_ptr<KddCache> kdd;
+  std::unordered_map<Lba, Page> truth;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("--- 0. the vulnerability window KDD closes ---\n");
+  {
+    RaidArray array(geo());
+    const ContentGenerator gen(1);
+    const Page v0 = gen.base_page(0);
+    Rng rng(2);
+    const Page v1 = gen.mutate(v0, 0.2, rng);
+    array.write_page(7, v0);
+    array.write_page_nopar(7, v1);  // deferred parity, as LeavO/KDD do
+    const std::uint32_t disk = array.layout().map(7).disk;
+    array.fail_disk(disk);
+    const std::uint64_t bad = array.rebuild_disk(disk);  // no flush first!
+    Page buf = make_page();
+    array.read_page(7, buf);
+    std::printf("rebuild without flushing parity: %llu group(s) rebuilt from stale "
+                "parity, data %s\n\n",
+                static_cast<unsigned long long>(bad),
+                buf == v1 ? "intact (unexpected)" : "CORRUPTED (expected)");
+  }
+
+  std::printf("--- 1. power failure ---\n");
+  {
+    Rig rig;
+    rig.workload(11, 4000);
+    const auto stale = rig.kdd->stale_groups();
+    std::printf("crash with %llu stale parity groups, %llu staged deltas...\n",
+                static_cast<unsigned long long>(stale),
+                static_cast<unsigned long long>(rig.kdd->staged_deltas()));
+    // The KddCache object (and with it the DRAM primary map) dies; the SSD,
+    // the disks and the NVRAM buffers survive.
+    rig.kdd = std::make_unique<KddCache>(cache_cfg(), &rig.array, &rig.ssd,
+                                         &rig.nvram, /*recover=*/true);
+    std::printf("recovered: %llu stale groups, data %s\n",
+                static_cast<unsigned long long>(rig.kdd->stale_groups()),
+                rig.verify() ? "intact" : "LOST");
+    rig.kdd->flush();
+    std::printf("after flush: scrub %s\n\n",
+                rig.array.scrub().empty() ? "CLEAN" : "INCONSISTENT");
+  }
+
+  std::printf("--- 2. SSD (cache device) failure ---\n");
+  {
+    Rig rig;
+    rig.workload(21, 4000);
+    const std::uint64_t resynced = rig.kdd->handle_ssd_failure();
+    std::printf("SSD died; resynchronised %llu stale groups by reconstruct-write\n",
+                static_cast<unsigned long long>(resynced));
+    std::printf("scrub %s, data %s (served from RAID, cache cold)\n\n",
+                rig.array.scrub().empty() ? "CLEAN" : "INCONSISTENT",
+                rig.verify() ? "intact" : "LOST");
+  }
+
+  std::printf("--- 3. HDD failure ---\n");
+  {
+    Rig rig;
+    rig.workload(31, 4000);
+    const std::uint64_t stale_rebuilds = rig.kdd->handle_disk_failure(2);
+    std::printf("disk 2 died; parity flushed first, then rebuilt: %llu groups from "
+                "stale parity\n",
+                static_cast<unsigned long long>(stale_rebuilds));
+    std::printf("scrub %s, data %s\n",
+                rig.array.scrub().empty() ? "CLEAN" : "INCONSISTENT",
+                rig.verify() ? "intact" : "LOST");
+  }
+  return 0;
+}

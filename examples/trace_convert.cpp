@@ -1,0 +1,71 @@
+// trace_convert: convert real block traces into the canonical format the
+// tools consume (and print their Table I-style characteristics).
+//
+// Usage:
+//   trace_convert spc <in.csv> <out.trace>     SPC / UMass financial format
+//   trace_convert msr <in.csv> <out.trace>     MSR-Cambridge format
+//   trace_convert stat <canonical.trace>       just print characteristics
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/analysis.hpp"
+#include "trace/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kdd;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_convert spc|msr <in.csv> <out.trace>\n"
+                 "       trace_convert stat <canonical.trace>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  Trace trace;
+  try {
+    if (mode == "spc") {
+      trace = read_spc_trace(argv[2], argv[2]);
+    } else if (mode == "msr") {
+      trace = read_msr_trace(argv[2], argv[2]);
+    } else if (mode == "stat") {
+      trace = read_canonical_trace(argv[2], argv[2]);
+    } else {
+      std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (trace.records.empty()) {
+    std::fprintf(stderr, "no records parsed from %s\n", argv[2]);
+    return 1;
+  }
+
+  const TraceStats s = compute_stats(trace);
+  const SequentialityProfile seq = compute_sequentiality(trace);
+  std::printf("records:        %zu (reads %llu, writes %llu, read ratio %.2f)\n",
+              trace.records.size(),
+              static_cast<unsigned long long>(s.read_requests),
+              static_cast<unsigned long long>(s.write_requests), s.read_ratio());
+  std::printf("unique pages:   %llu total (%llu read, %llu written)\n",
+              static_cast<unsigned long long>(s.unique_pages_total),
+              static_cast<unsigned long long>(s.unique_pages_read),
+              static_cast<unsigned long long>(s.unique_pages_written));
+  std::printf("footprint:      pages up to %llu (%.1f GiB)\n",
+              static_cast<unsigned long long>(s.max_page),
+              static_cast<double>(s.max_page) * kPageSize / static_cast<double>(kGiB));
+  std::printf("duration:       %.1f minutes, sequential fraction %.1f%%\n",
+              static_cast<double>(trace.duration_us()) / 60e6,
+              seq.sequential_fraction * 100);
+
+  if (mode != "stat") {
+    if (argc < 4) {
+      std::fprintf(stderr, "missing output path\n");
+      return 2;
+    }
+    write_canonical_trace(trace, argv[3]);
+    std::printf("wrote canonical trace to %s\n", argv[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Block device abstraction (data plane).
+//
+// All devices operate on fixed 4 KiB pages addressed by page-granular LBAs.
+// Timing is deliberately separated from data: the discrete-event simulator
+// (src/sim) attaches a timing model to each device, while the data plane here
+// stores real bytes so that RAID parity, deltas and recovery can be verified
+// end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.hpp"
+
+namespace kdd {
+
+enum class IoStatus {
+  kOk,
+  kFailed,  ///< device has failed (failure injection) — no data transferred
+};
+
+/// Per-device I/O counters (pages, not bytes).
+struct DeviceCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  std::uint64_t total() const { return reads + writes; }
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Reads one page at `page` into `out` (must be kPageSize bytes).
+  virtual IoStatus read(Lba page, std::span<std::uint8_t> out) = 0;
+
+  /// Writes one page at `page` from `data` (must be kPageSize bytes).
+  virtual IoStatus write(Lba page, std::span<const std::uint8_t> data) = 0;
+
+  /// Device capacity in pages.
+  virtual std::uint64_t num_pages() const = 0;
+
+  /// Marks the logical page as unused (no-op by default; SSDs use this to
+  /// avoid garbage-collecting dead cache pages).
+  virtual void trim(Lba page) { (void)page; }
+
+  const DeviceCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ protected:
+  DeviceCounters counters_;
+};
+
+}  // namespace kdd

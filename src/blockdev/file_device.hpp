@@ -1,0 +1,42 @@
+// File-backed block device: the same interface as MemBlockDevice but with
+// contents persisted to a regular file via pread/pwrite, so example
+// deployments survive process restarts. Pages never written read as zeros
+// (the file is sparse).
+#pragma once
+
+#include <string>
+
+#include "blockdev/block_device.hpp"
+
+namespace kdd {
+
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Opens (or creates) `path` sized for `pages` pages. Throws
+  /// std::runtime_error if the file cannot be opened.
+  FileBlockDevice(const std::string& path, std::uint64_t pages);
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  IoStatus read(Lba page, std::span<std::uint8_t> out) override;
+  IoStatus write(Lba page, std::span<const std::uint8_t> data) override;
+  std::uint64_t num_pages() const override { return pages_; }
+
+  void fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  /// Flushes dirty file pages to stable storage (fsync).
+  bool sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t pages_;
+  int fd_ = -1;
+  bool failed_ = false;
+};
+
+}  // namespace kdd

@@ -1,0 +1,38 @@
+// Memory-backed block device with failure injection. Models an HDD's data
+// plane for the user-space RAID prototype; the HDD *timing* model lives in
+// hdd_model.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace kdd {
+
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint64_t pages);
+
+  IoStatus read(Lba page, std::span<std::uint8_t> out) override;
+  IoStatus write(Lba page, std::span<const std::uint8_t> data) override;
+  std::uint64_t num_pages() const override { return pages_; }
+
+  /// Failure injection: once failed, all I/O returns kFailed until repaired.
+  void fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  /// Replaces the device with a blank one (models swapping in a spare disk).
+  void replace();
+
+  /// Direct access for tests/scrubbing (bypasses failure state and counters).
+  std::span<const std::uint8_t> raw_page(Lba page) const;
+  void corrupt_page(Lba page, std::uint8_t xor_mask);
+
+ private:
+  std::uint64_t pages_;
+  std::vector<std::uint8_t> data_;
+  bool failed_ = false;
+};
+
+}  // namespace kdd

@@ -1,0 +1,66 @@
+// Cache statistics: hit ratios and the SSD write-traffic breakdown that the
+// paper's Figures 4-8 and 11 report.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace kdd {
+
+/// Why a page was written to the SSD. The sum over kinds is the cache write
+/// traffic; the paper's lifetime argument is that KDD shrinks kDeltaCommit +
+/// kWriteUpdate + kMetadata relative to WT/LeavO.
+enum class SsdWriteKind : std::uint8_t {
+  kReadFill,     ///< allocation on a read miss
+  kWriteAlloc,   ///< allocation on a write miss
+  kWriteUpdate,  ///< full-page update of an already-cached page (WT/LeavO)
+  kDeltaCommit,  ///< packed delta page committed to the DEZ (KDD)
+  kMetadata,     ///< persistent cache metadata
+};
+inline constexpr int kNumSsdWriteKinds = 5;
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t write_bypasses = 0;  ///< writes that could not be cached
+
+  std::uint64_t ssd_reads = 0;
+  std::uint64_t ssd_writes[kNumSsdWriteKinds] = {};
+
+  std::uint64_t disk_reads = 0;   ///< RAID device page reads
+  std::uint64_t disk_writes = 0;  ///< RAID device page writes
+
+  std::uint64_t cleanings = 0;          ///< cleaning passes run
+  std::uint64_t groups_cleaned = 0;     ///< parity groups brought up to date
+  std::uint64_t log_gc_passes = 0;      ///< metadata-log garbage collections
+
+  std::uint64_t total_ssd_writes() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t w : ssd_writes) n += w;
+    return n;
+  }
+  std::uint64_t metadata_ssd_writes() const {
+    return ssd_writes[static_cast<int>(SsdWriteKind::kMetadata)];
+  }
+  std::uint64_t write_traffic_bytes() const { return total_ssd_writes() * kPageSize; }
+
+  std::uint64_t requests() const {
+    return read_hits + read_misses + write_hits + write_misses + write_bypasses;
+  }
+  /// Overall hit ratio as the paper reports it (reads + writes).
+  double hit_ratio() const {
+    const std::uint64_t total = requests();
+    return total ? static_cast<double>(read_hits + write_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  double read_hit_ratio() const {
+    const std::uint64_t total = read_hits + read_misses;
+    return total ? static_cast<double>(read_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+}  // namespace kdd

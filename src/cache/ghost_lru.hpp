@@ -1,0 +1,58 @@
+// Ghost LRU for LARC-style lazy admission (Huang et al., MSST'13 — cited in
+// Section V-C as complementary to KDD). The ghost list tracks recently
+// missed addresses without caching their data; a page is admitted into the
+// real cache only on its second miss within the ghost window, which filters
+// one-touch traffic and cuts allocation writes on the SSD.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace kdd {
+
+class GhostLru {
+ public:
+  explicit GhostLru(std::size_t capacity) : capacity_(capacity) {
+    KDD_CHECK(capacity_ > 0);
+  }
+
+  /// Called on a cache miss for `lba`. Returns true if the address was in
+  /// the ghost list (=> admit it; the ghost entry is consumed); otherwise
+  /// records it and returns false (=> do not admit yet).
+  bool touch_and_check(Lba lba) {
+    const auto it = map_.find(lba);
+    if (it != map_.end()) {
+      order_.erase(it->second);
+      map_.erase(it);
+      return true;
+    }
+    order_.push_front(lba);
+    map_[lba] = order_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    return false;
+  }
+
+  /// Drops an address (used when the page got admitted through another path).
+  void erase(Lba lba) {
+    const auto it = map_.find(lba);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<Lba> order_;
+  std::unordered_map<Lba, std::list<Lba>::iterator> map_;
+};
+
+}  // namespace kdd

@@ -1,0 +1,48 @@
+// Page buffers and XOR helpers. A Page is a fixed 4 KiB byte vector; the XOR
+// routines are the building block for RAID parity and delta generation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace kdd {
+
+using Page = std::vector<std::uint8_t>;
+
+/// Allocates a zero-filled page.
+inline Page make_page() { return Page(kPageSize, 0); }
+
+/// dst ^= src, element-wise. Sizes must match.
+inline void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
+  KDD_DCHECK(dst.size() == src.size());
+  // Word-at-a-time main loop; the compiler vectorises this readily.
+  std::size_t i = 0;
+  const std::size_t words = dst.size() / sizeof(std::uint64_t);
+  auto* d64 = reinterpret_cast<std::uint64_t*>(dst.data());
+  auto* s64 = reinterpret_cast<const std::uint64_t*>(src.data());
+  for (std::size_t w = 0; w < words; ++w) d64[w] ^= s64[w];
+  for (i = words * sizeof(std::uint64_t); i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+/// Returns a XOR b.
+inline Page xor_pages(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  KDD_DCHECK(a.size() == b.size());
+  Page out(a.begin(), a.end());
+  xor_into(out, b);
+  return out;
+}
+
+/// True if every byte is zero.
+inline bool all_zero(std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace kdd

@@ -1,0 +1,30 @@
+// Lightweight runtime assertion macros.
+//
+// KDD_CHECK is always on (used to guard invariants whose violation would
+// silently corrupt simulated data); KDD_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kdd::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "KDD_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace kdd::detail
+
+#define KDD_CHECK(expr)                                         \
+  do {                                                          \
+    if (!(expr)) ::kdd::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define KDD_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define KDD_DCHECK(expr) KDD_CHECK(expr)
+#endif

@@ -1,0 +1,184 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four words with splitmix64 as recommended by the xoshiro authors.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  KDD_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  return mean + stddev * next_gaussian();
+}
+
+GaussianRatioSampler::GaussianRatioSampler(double mean, double sigma, double lo, double hi)
+    : mean_(mean), sigma_(sigma), lo_(lo), hi_(hi) {
+  KDD_CHECK(lo_ <= hi_);
+}
+
+GaussianRatioSampler GaussianRatioSampler::for_mean(double mean) {
+  return {mean, mean / 4.0, 0.02, 1.0};
+}
+
+double GaussianRatioSampler::sample(Rng& rng) const {
+  const double v = rng.next_gaussian(mean_, sigma_);
+  if (v < lo_) return lo_;
+  if (v > hi_) return hi_;
+  return v;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  KDD_CHECK(n_ >= 1);
+  KDD_CHECK(alpha_ > 0.0);
+  // Rejection-inversion constants (Hörmann & Derflinger, 1996). Ranks are
+  // 1-based internally; sample() shifts to 0-based.
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  const double t = (1.0 - alpha_) * log_x;
+  // expm1/x1m handles alpha == 1 smoothly via the limit (log x).
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = std::expm1(t) / t;
+  } else {
+    helper = 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + 0.25 * t));
+  }
+  return log_x * helper;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = std::log1p(t) / t;
+  } else {
+    helper = 1.0 - t * 0.5 * (1.0 - t / 1.5 * (1.0 - 0.75 * t));
+  }
+  return std::exp(x * helper);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;
+    }
+  }
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights) {
+  KDD_CHECK(!weights.empty());
+  cdf_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    KDD_CHECK(w >= 0.0);
+    total += w;
+    cdf_.push_back(total);
+  }
+  KDD_CHECK(total > 0.0);
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace kdd

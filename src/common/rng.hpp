@@ -1,0 +1,98 @@
+// Deterministic random number generation and the samplers the evaluation
+// needs: uniform ints/doubles, Gaussian (for delta compression ratios,
+// Section IV-A2 of the paper) and bounded Zipf (for the FIO-like closed-loop
+// workload, Section IV-B3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kdd {
+
+/// xoshiro256** 1.0 — fast, high-quality, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double next_gaussian();
+
+  /// Normal with given mean/stddev.
+  double next_gaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Samples delta compression ratios ~ N(mean, sigma) clamped to [lo, hi].
+///
+/// The paper assumes per-write delta compression ratios follow a Gaussian
+/// distribution with mean 50 % / 25 % / 12 % for low / medium / high content
+/// locality. Sigma defaults to mean/4 so that almost all mass stays positive.
+class GaussianRatioSampler {
+ public:
+  GaussianRatioSampler(double mean, double sigma, double lo, double hi);
+
+  /// Convenience: sigma = mean/4, clamp to [0.02, 1.0].
+  static GaussianRatioSampler for_mean(double mean);
+
+  double sample(Rng& rng) const;
+  double mean() const { return mean_; }
+
+ private:
+  double mean_;
+  double sigma_;
+  double lo_;
+  double hi_;
+};
+
+/// Bounded Zipf(alpha) over {0, 1, ..., n-1} using the rejection-inversion
+/// method of Hörmann & Derflinger — O(1) per sample, no O(n) table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+/// Draws from an explicit discrete distribution (used by trace generators to
+/// pick request sizes, burst lengths, ...).
+class DiscreteSampler {
+ public:
+  /// weights need not be normalised; must be non-empty and non-negative.
+  explicit DiscreteSampler(std::vector<double> weights);
+
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kdd

@@ -1,0 +1,88 @@
+// Online statistics and latency histograms used by the simulator and the
+// experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kdd {
+
+/// Welford's online mean/variance plus min/max. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+/// linear sub-buckets). Records microseconds; supports percentile queries
+/// with bounded relative error (~1.6 %).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(SimTime us);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean_us() const;
+  /// q in [0, 1]; returns an upper bound of the bucket containing quantile q.
+  SimTime percentile_us(double q) const;
+  SimTime max_us() const { return max_; }
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;
+
+  static std::size_t bucket_index(SimTime us);
+  static SimTime bucket_upper(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  SimTime max_ = 0;
+};
+
+/// Exact-quantile recorder for moderate sample counts (keeps every sample).
+/// Used where the paper reports averages over bounded experiment lengths.
+class SampleRecorder {
+ public:
+  void record(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double percentile(double q) const;  ///< sorts lazily
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Pretty-prints a byte count ("1.50 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Pretty-prints a ratio as a percentage with one decimal ("42.3%").
+std::string format_pct(double ratio);
+
+}  // namespace kdd

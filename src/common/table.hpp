@@ -1,0 +1,33 @@
+// Plain-text table writer for experiment harness output. Produces aligned
+// columns like the rows in the paper's tables; also emits CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kdd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric helper: formats with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with aligned columns to the given stream (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders as CSV (comma-separated, no escaping needed for our content).
+  void print_csv(std::FILE* out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kdd

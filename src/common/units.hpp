@@ -1,0 +1,27 @@
+// Size and time units used throughout the KDD codebase.
+//
+// All device and cache geometry in this project is expressed in 4 KiB pages
+// unless a function name says otherwise ("bytes" / "sectors").
+#pragma once
+
+#include <cstdint>
+
+namespace kdd {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Cache/RAID page size used by the paper's evaluation (4 KB, Section IV-A1).
+inline constexpr std::uint32_t kPageSize = 4096;
+
+/// Simulated time is kept in microseconds.
+using SimTime = std::uint64_t;
+inline constexpr SimTime kUsPerMs = 1000;
+inline constexpr SimTime kUsPerSec = 1000 * 1000;
+
+/// Logical block address in units of pages (device- or array-relative).
+using Lba = std::uint64_t;
+inline constexpr Lba kInvalidLba = ~0ull;
+
+}  // namespace kdd

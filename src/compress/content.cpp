@@ -1,0 +1,42 @@
+#include "compress/content.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+ContentGenerator::ContentGenerator(std::uint64_t seed) : seed_(seed) {}
+
+Page ContentGenerator::base_page(Lba lba) const {
+  // Derive a per-page stream from (seed, lba) so regeneration is stable.
+  Rng rng(seed_ * 0x9e3779b97f4a7c15ull ^ (lba + 1) * 0xda942042e4dd58b5ull);
+  Page p(kPageSize);
+  for (std::size_t i = 0; i < kPageSize; i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p.data() + i, &v, 8);
+  }
+  return p;
+}
+
+Page ContentGenerator::mutate(const Page& old, double target_ratio, Rng& rng) const {
+  KDD_CHECK(old.size() == kPageSize);
+  const double ratio = std::clamp(target_ratio, 0.01, 1.0);
+  // The XOR delta is nonzero only on mutated bytes; the LZ stream spends
+  // roughly one byte per mutated byte plus ~5 bytes per zero-gap token, so
+  // budget slightly below the target and use runs of 24-40 bytes.
+  auto budget = static_cast<std::size_t>(ratio * kPageSize * 0.92);
+  Page out = old;
+  while (budget > 0) {
+    const std::size_t run = std::min<std::size_t>(budget, 24 + rng.next_below(17));
+    const std::size_t start = rng.next_below(kPageSize - run + 1);
+    for (std::size_t i = 0; i < run; ++i) {
+      out[start + i] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    budget -= run;
+  }
+  return out;
+}
+
+}  // namespace kdd

@@ -1,0 +1,66 @@
+#include "compress/delta.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "compress/lz.hpp"
+
+namespace kdd {
+
+Delta make_delta(std::span<const std::uint8_t> old_version,
+                 std::span<const std::uint8_t> new_version) {
+  KDD_CHECK(old_version.size() == new_version.size());
+  const Page diff = xor_pages(old_version, new_version);
+  Delta d;
+  d.payload = lz_compress(diff);
+  if (d.payload.size() >= diff.size()) {
+    d.raw = true;
+    d.payload.assign(diff.begin(), diff.end());
+  }
+  return d;
+}
+
+Page delta_to_xor(const Delta& delta, std::size_t page_size) {
+  if (delta.raw) {
+    KDD_CHECK(delta.payload.size() == page_size);
+    return Page(delta.payload.begin(), delta.payload.end());
+  }
+  Page diff;
+  const bool ok = lz_decompress(delta.payload, page_size, diff);
+  KDD_CHECK(ok);
+  return diff;
+}
+
+Page apply_delta(std::span<const std::uint8_t> old_version, const Delta& delta) {
+  Page out = delta_to_xor(delta, old_version.size());
+  xor_into(out, old_version);
+  return out;
+}
+
+std::size_t pack_delta(const Delta& delta, std::span<std::uint8_t> out,
+                       std::size_t offset) {
+  const std::size_t need = delta.packed_size();
+  KDD_CHECK(offset + need <= out.size());
+  KDD_CHECK(delta.payload.size() <= 0xffff);
+  out[offset] = delta.raw ? 1 : 0;
+  out[offset + 1] = static_cast<std::uint8_t>(delta.payload.size() & 0xff);
+  out[offset + 2] = static_cast<std::uint8_t>(delta.payload.size() >> 8);
+  std::memcpy(out.data() + offset + Delta::kHeaderSize, delta.payload.data(),
+              delta.payload.size());
+  return need;
+}
+
+bool unpack_delta(std::span<const std::uint8_t> in, std::size_t offset, Delta& out) {
+  if (offset + Delta::kHeaderSize > in.size()) return false;
+  const std::uint8_t flag = in[offset];
+  if (flag > 1) return false;
+  const std::size_t len = static_cast<std::size_t>(in[offset + 1]) |
+                          (static_cast<std::size_t>(in[offset + 2]) << 8);
+  if (offset + Delta::kHeaderSize + len > in.size()) return false;
+  out.raw = flag == 1;
+  out.payload.assign(in.begin() + static_cast<std::ptrdiff_t>(offset + Delta::kHeaderSize),
+                     in.begin() + static_cast<std::ptrdiff_t>(offset + Delta::kHeaderSize + len));
+  return true;
+}
+
+}  // namespace kdd

@@ -1,0 +1,48 @@
+// Delta codec: a delta is the LZ-compressed XOR of two versions of a page
+// (Section II-C / III-A of the paper). Applying a delta to the old version
+// reproduces the new version; XORing a stale parity block with the *raw*
+// (decompressed) delta yields the fresh parity, which is what KDD's cleaning
+// thread relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace kdd {
+
+/// A compressed page delta. `payload` is the LZ stream unless compression
+/// failed to save space, in which case the raw XOR is stored (`raw == true`).
+struct Delta {
+  bool raw = false;
+  std::vector<std::uint8_t> payload;
+
+  /// Bytes this delta occupies when packed into a DEZ page (payload + header).
+  std::size_t packed_size() const { return payload.size() + kHeaderSize; }
+
+  /// Serialized header: 1 flag byte + 2-byte payload length.
+  static constexpr std::size_t kHeaderSize = 3;
+};
+
+/// Computes the delta between two equally-sized page versions.
+Delta make_delta(std::span<const std::uint8_t> old_version,
+                 std::span<const std::uint8_t> new_version);
+
+/// Reconstructs the new version: old XOR decompress(delta).
+Page apply_delta(std::span<const std::uint8_t> old_version, const Delta& delta);
+
+/// Decompresses the delta into the raw XOR difference page.
+Page delta_to_xor(const Delta& delta, std::size_t page_size = kPageSize);
+
+/// Serializes `delta` into `out` at `offset`; returns bytes written.
+/// Used when packing multiple deltas into one DEZ page.
+std::size_t pack_delta(const Delta& delta, std::span<std::uint8_t> out,
+                       std::size_t offset);
+
+/// Parses a delta previously written by pack_delta. Returns false if the
+/// buffer does not contain a well-formed delta at `offset`.
+bool unpack_delta(std::span<const std::uint8_t> in, std::size_t offset, Delta& out);
+
+}  // namespace kdd

@@ -1,0 +1,170 @@
+#include "compress/lz.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainProbes = 16;
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::vector<std::uint8_t>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+}  // namespace
+
+std::size_t lz_max_compressed_size(std::size_t src_size) {
+  // Worst case: all literals — token byte + extension bytes + literals.
+  return src_size + src_size / 255 + 16;
+}
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> src) {
+  std::vector<std::uint8_t> out;
+  out.reserve(src.size() / 2 + 16);
+
+  const std::uint8_t* base = src.data();
+  const std::size_t n = src.size();
+
+  // head[h] is the most recent position hashed to h; prev[i] chains backwards.
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(n, -1);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+
+  auto emit = [&](std::size_t match_len, std::size_t offset) {
+    const std::size_t lit = pos - literal_start;
+    const std::uint8_t lit_nibble = static_cast<std::uint8_t>(lit < 15 ? lit : 15);
+    const bool has_match = match_len > 0;
+    std::size_t match_extra = 0;
+    std::uint8_t match_nibble = 0;
+    if (has_match) {
+      const std::size_t code = match_len - kMinMatch;
+      match_nibble = static_cast<std::uint8_t>(code < 15 ? code : 15);
+      match_extra = code;
+    }
+    out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+    if (lit >= 15) put_length(out, lit - 15);
+    out.insert(out.end(), base + literal_start, base + literal_start + lit);
+    if (has_match) {
+      out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      if (match_nibble == 15) put_length(out, match_extra - 15);
+    }
+  };
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = hash4(read_u32(base + pos));
+    std::int32_t cand = head[h];
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    int probes = kMaxChainProbes;
+    while (cand >= 0 && probes-- > 0) {
+      const std::size_t cpos = static_cast<std::size_t>(cand);
+      const std::size_t off = pos - cpos;
+      if (off > kMaxOffset) break;
+      if (read_u32(base + cpos) == read_u32(base + pos)) {
+        std::size_t len = kMinMatch;
+        while (pos + len < n && base[cpos + len] == base[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = off;
+        }
+      }
+      cand = prev[cpos];
+    }
+    prev[pos] = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+    if (best_len >= kMinMatch) {
+      emit(best_len, best_off);
+      // Insert hash entries for the matched region (sparsely, every other
+      // byte, to bound compression cost on long runs).
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= n && p < end; p += 2) {
+        const std::uint32_t hh = hash4(read_u32(base + p));
+        prev[p] = head[hh];
+        head[hh] = static_cast<std::int32_t>(p);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = n;
+  emit(0, 0);  // final literal-only token (may carry zero literals)
+  return out;
+}
+
+bool lz_decompress(std::span<const std::uint8_t> src, std::size_t expected_size,
+                   std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(expected_size);
+  std::size_t ip = 0;
+  const std::size_t in_n = src.size();
+
+  auto read_length = [&](std::size_t base_len) -> std::size_t {
+    std::size_t len = base_len;
+    while (true) {
+      if (ip >= in_n) return SIZE_MAX;
+      const std::uint8_t b = src[ip++];
+      len += b;
+      if (b != 255) return len;
+    }
+  };
+
+  while (ip < in_n) {
+    const std::uint8_t token = src[ip++];
+    std::size_t lit = token >> 4;
+    if (lit == 15) {
+      lit = read_length(15);
+      if (lit == SIZE_MAX) return false;
+    }
+    if (ip + lit > in_n || out.size() + lit > expected_size) return false;
+    out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(ip),
+               src.begin() + static_cast<std::ptrdiff_t>(ip + lit));
+    ip += lit;
+    if (out.size() == expected_size) {
+      return ip == in_n;  // final token carries no match
+    }
+    if (ip + 2 > in_n) return false;
+    const std::size_t offset =
+        static_cast<std::size_t>(src[ip]) | (static_cast<std::size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > out.size()) return false;
+    std::size_t mlen = token & 0x0f;
+    if (mlen == 15) {
+      mlen = read_length(15);
+      if (mlen == SIZE_MAX) return false;
+    }
+    mlen += kMinMatch;
+    if (out.size() + mlen > expected_size) return false;
+    // Byte-by-byte copy: matches may overlap their own output.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < mlen; ++i) out.push_back(out[from + i]);
+  }
+  return out.size() == expected_size;
+}
+
+}  // namespace kdd

@@ -1,0 +1,35 @@
+// From-scratch byte-oriented LZ77 codec (LZ4-style token format with
+// hash-chain match finding). Stands in for the LZO library the paper's
+// prototype uses for delta compression — same role, same asymptotics.
+//
+// Format (per token):
+//   1 byte:  high nibble = literal count  (15 => extension bytes follow)
+//            low nibble  = match length-4 (15 => extension bytes follow)
+//   <literal count extension bytes>  each 255 adds 255, terminator < 255
+//   <literals>
+//   2 bytes: little-endian match offset (1..65535), omitted for the final
+//            token (which carries literals only, low nibble = 0)
+//   <match length extension bytes>
+//
+// Minimum match length is 4; matches may overlap their own output (offset 1
+// encodes runs), which makes mostly-zero XOR deltas collapse to a few bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kdd {
+
+/// Compresses src. The output is self-delimiting given the original size.
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> src);
+
+/// Decompresses src into exactly expected_size bytes.
+/// Returns false (and leaves out unspecified) on malformed input.
+bool lz_decompress(std::span<const std::uint8_t> src, std::size_t expected_size,
+                   std::vector<std::uint8_t>& out);
+
+/// Upper bound on compressed size for a given input size.
+std::size_t lz_max_compressed_size(std::size_t src_size);
+
+}  // namespace kdd

@@ -1,0 +1,102 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "policies/leavo.hpp"
+#include "policies/nocache.hpp"
+#include "policies/write_around.hpp"
+#include "policies/write_back.hpp"
+#include "policies/write_through.hpp"
+
+namespace kdd {
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNossd: return "Nossd";
+    case PolicyKind::kWT: return "WT";
+    case PolicyKind::kWA: return "WA";
+    case PolicyKind::kLeavO: return "LeavO";
+    case PolicyKind::kKdd: return "KDD";
+    case PolicyKind::kWB: return "WB";
+  }
+  return "?";
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, const PolicyConfig& config,
+                                         const RaidGeometry& geo) {
+  switch (kind) {
+    case PolicyKind::kNossd: return std::make_unique<NoCachePolicy>(geo);
+    case PolicyKind::kWT: return std::make_unique<WriteThroughPolicy>(config, geo);
+    case PolicyKind::kWA: return std::make_unique<WriteAroundPolicy>(config, geo);
+    case PolicyKind::kLeavO: return std::make_unique<LeavOPolicy>(config, geo);
+    case PolicyKind::kKdd: return std::make_unique<KddCache>(config, geo);
+    case PolicyKind::kWB: return std::make_unique<WriteBackPolicy>(config, geo);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, const PolicyConfig& config,
+                                         RaidArray* array, SsdModel* ssd) {
+  switch (kind) {
+    case PolicyKind::kNossd: return std::make_unique<NoCachePolicy>(array);
+    case PolicyKind::kWT:
+      return std::make_unique<WriteThroughPolicy>(config, array, ssd);
+    case PolicyKind::kWA:
+      return std::make_unique<WriteAroundPolicy>(config, array, ssd);
+    case PolicyKind::kLeavO: return std::make_unique<LeavOPolicy>(config, array, ssd);
+    case PolicyKind::kKdd: return std::make_unique<KddCache>(config, array, ssd);
+    case PolicyKind::kWB: return std::make_unique<WriteBackPolicy>(config, array, ssd);
+  }
+  return nullptr;
+}
+
+RaidGeometry paper_geometry(Lba max_page) {
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 16;  // 64 KiB chunks
+  const std::uint64_t needed = max_page + 1;
+  const std::uint64_t per_disk = (needed + geo.data_disks() - 1) / geo.data_disks();
+  geo.disk_pages = (per_disk / geo.chunk_pages + 2) * geo.chunk_pages;
+  return geo;
+}
+
+CacheStats run_counter_trace(CachePolicy& policy, const Trace& trace,
+                             std::uint64_t array_pages) {
+  KDD_CHECK(array_pages > 0);
+  for (const TraceRecord& rec : trace.records) {
+    for (std::uint32_t i = 0; i < rec.pages; ++i) {
+      const Lba lba = (rec.page + i) % array_pages;
+      if (rec.is_read) {
+        policy.read(lba, {}, nullptr);
+      } else {
+        policy.write(lba, {}, nullptr);
+      }
+    }
+  }
+  policy.flush(nullptr);
+  return policy.stats();
+}
+
+SimConfig paper_sim_config(std::uint32_t num_disks) {
+  SimConfig cfg;
+  cfg.num_disks = num_disks;
+  // 7,200 RPM SATA disk with caches disabled; SATA MLC SSD, 8 channels —
+  // the class of hardware in Section IV-B1.
+  cfg.hdd = HddTimingConfig{};
+  cfg.ssd = SsdTimingConfig{};
+  return cfg;
+}
+
+double experiment_scale(double fallback) {
+  if (const char* env = std::getenv("KDD_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace kdd

@@ -1,0 +1,50 @@
+// Experiment harness: policy factory, counter-mode trace driver, and the
+// default configurations shared by the per-figure bench binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "sim/event_sim.hpp"
+#include "trace/trace.hpp"
+
+namespace kdd {
+
+enum class PolicyKind { kNossd, kWT, kWA, kLeavO, kKdd, kWB };
+
+std::string policy_kind_name(PolicyKind kind);
+
+/// Counter-mode policy (Section IV-A methodology).
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, const PolicyConfig& config,
+                                         const RaidGeometry& geo);
+
+/// Prototype-mode policy over a real array and SSD.
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind, const PolicyConfig& config,
+                                         RaidArray* array, SsdModel* ssd);
+
+/// RAID-5 geometry matching the paper's testbed shape (5 disks, 64 KiB
+/// chunks) with per-disk capacity sized so the array holds pages
+/// [0, max_page].
+RaidGeometry paper_geometry(Lba max_page);
+
+/// Feeds the whole trace through the policy (counter mode, no timing),
+/// splitting multi-page records, then flushes. Returns the final stats.
+CacheStats run_counter_trace(CachePolicy& policy, const Trace& trace,
+                             std::uint64_t array_pages);
+
+/// Default timing configuration for the timed experiments (Section IV-B).
+SimConfig paper_sim_config(std::uint32_t num_disks);
+
+/// Experiment scale factor: reads KDD_SCALE from the environment (default
+/// `fallback`), clamped to (0, 1]. Shrinks trace footprints/request counts
+/// proportionally so benches finish quickly; EXPERIMENTS.md records the
+/// scale each table was produced at.
+double experiment_scale(double fallback = 0.25);
+
+/// The three content-locality levels the paper evaluates (KDD-50 %, -25 %,
+/// -12 % mean delta compression ratios).
+inline constexpr double kLocalityLevels[3] = {0.50, 0.25, 0.12};
+
+}  // namespace kdd

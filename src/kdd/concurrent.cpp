@@ -1,0 +1,60 @@
+#include "kdd/concurrent.hpp"
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+ConcurrentCache::ConcurrentCache(CachePolicy* policy,
+                                 std::chrono::milliseconds idle_wakeup)
+    : policy_(policy),
+      idle_wakeup_(idle_wakeup),
+      last_request_(std::chrono::steady_clock::now()),
+      cleaner_([this] { cleaner_main(); }) {
+  KDD_CHECK(policy_ != nullptr);
+}
+
+ConcurrentCache::~ConcurrentCache() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  cleaner_.join();
+}
+
+IoStatus ConcurrentCache::read(Lba lba, std::span<std::uint8_t> out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_request_ = std::chrono::steady_clock::now();
+  return policy_->read(lba, out, nullptr);
+}
+
+IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_request_ = std::chrono::steady_clock::now();
+  return policy_->write(lba, data, nullptr);
+}
+
+void ConcurrentCache::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  policy_->flush(nullptr);
+}
+
+CacheStats ConcurrentCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return policy_->stats();
+}
+
+void ConcurrentCache::cleaner_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, idle_wakeup_);
+    if (stop_) break;
+    const auto idle_for = std::chrono::steady_clock::now() - last_request_;
+    if (idle_for >= idle_wakeup_) {
+      policy_->on_idle(nullptr);
+      cleaner_passes_.fetch_add(1);
+    }
+  }
+}
+
+}  // namespace kdd

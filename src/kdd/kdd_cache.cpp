@@ -1,0 +1,731 @@
+#include "kdd/kdd_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+namespace {
+
+CacheLayoutPlan kdd_layout(const PolicyConfig& config) {
+  return plan_cache_layout(config, /*needs_metadata=*/true);
+}
+
+}  // namespace
+
+KddCache::KddCache(const PolicyConfig& config, const RaidGeometry& geo,
+                   NvramState* nvram)
+    : BlockCacheBase(config, geo, kdd_layout(config).metadata_pages,
+                     kdd_layout(config).cache_pages),
+      owned_nvram_(nvram ? nullptr
+                         : std::make_unique<NvramState>(config.staging_buffer_bytes,
+                                                        config.metadata_buffer_entries)),
+      nvram_(nvram ? nvram : owned_nvram_.get()),
+      log_(&ssd_, nvram_, &sets_, config.log_gc_threshold),
+      sampler_(GaussianRatioSampler::for_mean(config.delta_ratio_mean)),
+      rng_(config.seed) {
+  if (config.selective_admission) {
+    ghost_ = std::make_unique<GhostLru>(sets_.pages());
+  }
+}
+
+KddCache::KddCache(const PolicyConfig& config, RaidArray* array, SsdModel* ssd,
+                   NvramState* nvram, bool do_recover)
+    : BlockCacheBase(config, array, ssd, kdd_layout(config).metadata_pages,
+                     kdd_layout(config).cache_pages),
+      owned_nvram_(nvram ? nullptr
+                         : std::make_unique<NvramState>(config.staging_buffer_bytes,
+                                                        config.metadata_buffer_entries)),
+      nvram_(nvram ? nvram : owned_nvram_.get()),
+      log_(&ssd_, nvram_, &sets_, config.log_gc_threshold),
+      sampler_(GaussianRatioSampler::for_mean(config.delta_ratio_mean)),
+      rng_(config.seed) {
+  if (config.selective_admission) {
+    ghost_ = std::make_unique<GhostLru>(sets_.pages());
+  }
+  if (do_recover) recover();
+}
+
+bool KddCache::admit(Lba lba) {
+  if (!ghost_) return true;
+  return ghost_->touch_and_check(lba);
+}
+
+void KddCache::add_map_entry(std::uint32_t idx, IoPlan* plan) {
+  const CacheSets::CacheSlot& s = sets_.slot(idx);
+  MetadataEntry e;
+  e.daz_idx = idx;
+  e.lba_raid = s.lba;
+  e.state = s.state;
+  if (s.state == PageState::kOld) {
+    KDD_CHECK(s.dez_idx != CacheSets::kStaged);  // persisted only after commit
+    e.dez_idx = s.dez_idx;
+    e.dez_off = s.dez_off;
+    e.dez_len = s.dez_len;
+  }
+  log_.add_entry(e, plan);
+}
+
+void KddCache::on_evict_slot(std::uint32_t idx) {
+  MetadataEntry e;
+  e.daz_idx = idx;
+  e.lba_raid = kInvalidLba;
+  e.state = PageState::kFree;
+  log_.add_entry(e, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Delta plumbing
+// ---------------------------------------------------------------------------
+
+KddCache::DeltaInfo KddCache::compute_delta(std::uint32_t daz_idx,
+                                            std::span<const std::uint8_t> data,
+                                            IoPlan* plan) {
+  DeltaInfo info;
+  if (ssd_.real()) {
+    Page old_version = make_page();
+    ssd_.read_data(daz_idx, old_version, plan);
+    info.blob = make_delta(old_version, data);
+    info.packed = static_cast<std::uint32_t>(info.blob.packed_size());
+  } else {
+    ssd_.read_data(daz_idx, {}, plan);  // the prototype reads the old version
+    const double ratio = sampler_.sample(rng_);
+    const auto payload = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(ratio * static_cast<double>(kPageSize))));
+    info.packed = payload + static_cast<std::uint32_t>(Delta::kHeaderSize);
+  }
+  return info;
+}
+
+Delta KddCache::load_delta(const CacheSets::CacheSlot& slot, IoPlan* plan) {
+  KDD_CHECK(slot.state == PageState::kOld);
+  if (slot.dez_idx == CacheSets::kStaged) {
+    const StagedDelta* staged = nvram_->staging.find(slot.lba);
+    KDD_CHECK(staged != nullptr);
+    return staged->blob;
+  }
+  Page dez_page = make_page();
+  ssd_.read_data(slot.dez_idx, dez_page, plan);
+  Delta d;
+  const bool ok = unpack_delta(dez_page, slot.dez_off, d);
+  KDD_CHECK(ok);
+  KDD_CHECK(d.packed_size() == slot.dez_len);
+  return d;
+}
+
+void KddCache::charge_delta_read(const CacheSets::CacheSlot& slot, IoPlan* plan) {
+  if (slot.dez_idx != CacheSets::kStaged) ssd_.read_data(slot.dez_idx, {}, plan);
+}
+
+void KddCache::stage_delta(Lba lba, std::uint32_t daz_idx, DeltaInfo info,
+                           IoPlan* plan) {
+  KDD_CHECK(info.packed <= kPageSize);
+  nvram_->staging.erase(lba);
+  if (!nvram_->staging.fits(info.packed)) commit_staging(plan);
+  StagedDelta d;
+  d.lba = lba;
+  d.daz_idx = daz_idx;
+  d.packed_size = info.packed;
+  d.blob = std::move(info.blob);
+  nvram_->staging.put(std::move(d));
+  sets_.slot(daz_idx).dez_idx = CacheSets::kStaged;
+  sets_.slot(daz_idx).dez_off = 0;
+  sets_.slot(daz_idx).dez_len = static_cast<std::uint16_t>(info.packed);
+}
+
+void KddCache::commit_staging(IoPlan* plan) {
+  std::vector<StagedDelta> all = nvram_->staging.take_all();
+  if (all.empty()) return;
+
+  // First-fit packing into DEZ pages, preserving FIFO order.
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t end = pos;
+    std::size_t bytes = 0;
+    while (end < all.size() && bytes + all[end].packed_size <= kPageSize) {
+      bytes += all[end].packed_size;
+      ++end;
+    }
+    KDD_CHECK(end > pos);
+    const std::uint32_t dez = alloc_dez_slot(plan);
+    if (dez == CacheSets::kNone) {
+      // Emergency: no DEZ page obtainable — fold the remaining deltas into
+      // parity synchronously and drop their pages.
+      for (std::size_t i = pos; i < all.size(); ++i) {
+        DeltaInfo info;
+        info.packed = all[i].packed_size;
+        info.blob = std::move(all[i].blob);
+        resolve_and_drop(all[i].daz_idx, &info, plan);
+      }
+      return;
+    }
+    Page content;
+    if (ssd_.real()) content = make_page();
+    std::size_t off = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      CacheSets::CacheSlot& daz = sets_.slot(all[i].daz_idx);
+      KDD_CHECK(daz.state == PageState::kOld && daz.lba == all[i].lba);
+      if (ssd_.real()) {
+        const std::size_t written = pack_delta(all[i].blob, content, off);
+        KDD_CHECK(written == all[i].packed_size);
+      }
+      daz.dez_idx = dez;
+      daz.dez_off = static_cast<std::uint16_t>(off);
+      daz.dez_len = static_cast<std::uint16_t>(all[i].packed_size);
+      off += all[i].packed_size;
+      add_map_entry(all[i].daz_idx, plan);
+    }
+    ssd_.write_data(dez, SsdWriteKind::kDeltaCommit,
+                    ssd_.real() ? std::span<const std::uint8_t>(content)
+                                : std::span<const std::uint8_t>{},
+                    plan);
+    sets_.set_state(dez, PageState::kDelta);
+    sets_.slot(dez).valid_count = static_cast<std::uint16_t>(end - pos);
+    ++dez_pages_;
+    pos = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+std::uint32_t KddCache::alloc_daz_slot(std::uint32_t set, IoPlan* plan) {
+  (void)plan;
+  std::uint32_t idx = sets_.find_free(set);
+  if (idx == CacheSets::kNone) idx = evict_lru_clean(set);
+  return idx;
+}
+
+std::uint32_t KddCache::alloc_dez_slot(IoPlan* plan) {
+  // Power-of-k-choices approximation of "the set with the least DEZ pages"
+  // (Section III-B): sample k sets, prefer a free page in the least-DEZ one.
+  constexpr int kProbes = 8;
+  std::uint32_t best_free = CacheSets::kNone;
+  std::uint32_t best_free_dez = 0xffffffffu;
+  std::uint32_t best_evict = CacheSets::kNone;
+  std::uint32_t best_evict_dez = 0xffffffffu;
+  for (int p = 0; p < kProbes; ++p) {
+    const auto s = static_cast<std::uint32_t>(rng_.next_below(sets_.num_sets()));
+    if (sets_.free_count(s) > 0 && sets_.dez_count(s) < best_free_dez) {
+      best_free = s;
+      best_free_dez = sets_.dez_count(s);
+    }
+    if (sets_.lru_tail(s) != CacheSets::kNone && sets_.dez_count(s) < best_evict_dez) {
+      best_evict = s;
+      best_evict_dez = sets_.dez_count(s);
+    }
+  }
+  if (best_free != CacheSets::kNone) return sets_.find_free(best_free);
+  if (best_evict != CacheSets::kNone) return evict_lru_clean(best_evict);
+  // Fall back to a linear scan before giving up entirely.
+  for (std::uint32_t s = 0; s < sets_.num_sets(); ++s) {
+    if (sets_.free_count(s) > 0) return sets_.find_free(s);
+    if (sets_.lru_tail(s) != CacheSets::kNone) return evict_lru_clean(s);
+  }
+  (void)plan;
+  return CacheSets::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Delta invalidation / reclamation
+// ---------------------------------------------------------------------------
+
+void KddCache::invalidate_delta(std::uint32_t daz_idx, IoPlan* plan) {
+  (void)plan;
+  CacheSets::CacheSlot& slot = sets_.slot(daz_idx);
+  if (slot.dez_idx == CacheSets::kStaged) {
+    nvram_->staging.erase(slot.lba);
+  } else if (slot.dez_idx != CacheSets::kNone) {
+    CacheSets::CacheSlot& dez = sets_.slot(slot.dez_idx);
+    KDD_CHECK(dez.state == PageState::kDelta);
+    KDD_CHECK(dez.valid_count > 0);
+    if (--dez.valid_count == 0) {
+      ssd_.trim_data(slot.dez_idx);
+      sets_.reset_slot(slot.dez_idx);
+      KDD_CHECK(dez_pages_ > 0);
+      --dez_pages_;
+    }
+  }
+  slot.dez_idx = CacheSets::kNone;
+  slot.dez_off = slot.dez_len = 0;
+}
+
+void KddCache::drop_old_page(std::uint32_t daz_idx, IoPlan* plan) {
+  CacheSets::CacheSlot& slot = sets_.slot(daz_idx);
+  KDD_CHECK(slot.state == PageState::kOld);
+  note_group_repair(raid_.layout().group_of(slot.lba));
+  KDD_CHECK(old_pages_ > 0);
+  --old_pages_;
+  ssd_.trim_data(daz_idx);
+  sets_.reset_slot(daz_idx);
+  on_evict_slot(daz_idx);
+  (void)plan;
+}
+
+void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override_delta,
+                                IoPlan* plan) {
+  CacheSets::CacheSlot& slot = sets_.slot(daz_idx);
+  KDD_CHECK(slot.state == PageState::kOld);
+  const GroupId g = raid_.layout().group_of(slot.lba);
+  const std::uint32_t index = raid_.layout().index_in_group(slot.lba);
+
+  Page xor_diff;
+  if (ssd_.real()) {
+    const Delta& d = override_delta ? override_delta->blob : load_delta(slot, plan);
+    xor_diff = delta_to_xor(d);
+  } else if (!override_delta) {
+    charge_delta_read(slot, plan);
+  }
+  const GroupDelta gd{index, &xor_diff};
+  const bool last_in_group =
+      dirty_groups_.count(g) != 0 && dirty_groups_.at(g) == 1;
+  const IoStatus st =
+      raid_.update_parity_rmw(g, std::span<const GroupDelta>(&gd, 1), plan,
+                              /*finalize=*/last_in_group);
+  KDD_CHECK(st == IoStatus::kOk);
+  // Always discard the superseded delta: for a staged one this erases it from
+  // the NVRAM buffer (a no-op if the caller already drained staging), for a
+  // DEZ-resident one it decrements the page's valid count.
+  invalidate_delta(daz_idx, plan);
+  drop_old_page(daz_idx, plan);
+}
+
+void KddCache::note_old_transition(std::uint32_t daz_idx) {
+  const CacheSets::CacheSlot& slot = sets_.slot(daz_idx);
+  const GroupId g = raid_.layout().group_of(slot.lba);
+  if (++dirty_groups_[g] == 1) stale_since_[g] = op_counter_;
+  ++old_pages_;
+}
+
+void KddCache::note_group_repair(GroupId g) {
+  const auto it = dirty_groups_.find(g);
+  KDD_CHECK(it != dirty_groups_.end() && it->second > 0);
+  if (--it->second > 0) return;
+  dirty_groups_.erase(it);
+  const auto since = stale_since_.find(g);
+  if (since != stale_since_.end()) {
+    staleness_ages_.record(op_counter_ - since->second);
+    stale_since_.erase(since);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request paths
+// ---------------------------------------------------------------------------
+
+IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  ++op_counter_;
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx != CacheSets::kNone) {
+    ++stats_.read_hits;
+    CacheSets::CacheSlot& slot = sets_.slot(idx);
+    if (slot.state == PageState::kClean) {
+      sets_.lru_touch(idx);
+      return ssd_.read_data(idx, out, plan);
+    }
+    // Old page: combine the DAZ copy with its latest delta (Section III-A).
+    KDD_DCHECK(slot.state == PageState::kOld);
+    if (ssd_.real()) {
+      Page daz = make_page();
+      ssd_.read_data(idx, daz, plan);
+      const Delta d = load_delta(slot, plan);
+      const Page current = apply_delta(daz, d);
+      KDD_CHECK(out.size() == current.size());
+      std::copy(current.begin(), current.end(), out.begin());
+    } else {
+      ssd_.read_data(idx, {}, plan);
+      charge_delta_read(slot, plan);
+    }
+    return IoStatus::kOk;
+  }
+  ++stats_.read_misses;
+  const IoStatus st = raid_.read_page(lba, out, plan);
+  if (st != IoStatus::kOk) return st;
+  if (!admit(lba)) return IoStatus::kOk;  // LARC: first touch stays ghost-only
+  const std::uint32_t slot = alloc_daz_slot(set, plan);
+  if (slot == CacheSets::kNone) return IoStatus::kOk;  // set pinned solid
+  ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan);
+  sets_.slot(slot).lba = lba;
+  sets_.set_state(slot, PageState::kClean);
+  add_map_entry(slot, plan);
+  return IoStatus::kOk;
+}
+
+IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) {
+  ++op_counter_;
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+
+  if (idx == CacheSets::kNone) {
+    // Write miss: conventional parity update, then admit into DAZ.
+    ++stats_.write_misses;
+    const IoStatus st = raid_.write_page(lba, data, plan);
+    if (st != IoStatus::kOk) return st;
+    if (!admit(lba)) return IoStatus::kOk;
+    const std::uint32_t slot = alloc_daz_slot(set, plan);
+    if (slot == CacheSets::kNone) return IoStatus::kOk;
+    ssd_.write_data(slot, SsdWriteKind::kWriteAlloc, data, plan);
+    sets_.slot(slot).lba = lba;
+    sets_.set_state(slot, PageState::kClean);
+    add_map_entry(slot, plan);
+    return IoStatus::kOk;
+  }
+
+  ++stats_.write_hits;
+  CacheSets::CacheSlot& slot = sets_.slot(idx);
+  DeltaInfo info = compute_delta(idx, data, plan);
+
+  if (slot.state == PageState::kClean) {
+    if (info.packed > kPageSize) {
+      // Incompressible delta: no benefit in deferring — stay write-through.
+      ++delta_fallbacks_;
+      ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan);
+      sets_.lru_touch(idx);
+      return raid_.write_page(lba, data, plan);
+    }
+    const IoStatus st = raid_.write_page_nopar(lba, data, plan);
+    if (st != IoStatus::kOk) return st;
+    sets_.set_state(idx, PageState::kOld);
+    note_old_transition(idx);
+    stage_delta(lba, idx, std::move(info), plan);
+    maybe_clean(plan);
+    return IoStatus::kOk;
+  }
+
+  KDD_DCHECK(slot.state == PageState::kOld);
+  // compute_delta() diffs against the DAZ copy, so `info` is exactly the
+  // delta the stale parity needs — the previous delta is superseded.
+  const IoStatus st = raid_.write_page_nopar(lba, data, plan);
+  if (st != IoStatus::kOk) return st;
+  if (info.packed > kPageSize) {
+    ++delta_fallbacks_;
+    resolve_and_drop(idx, &info, plan);
+    return IoStatus::kOk;
+  }
+  invalidate_delta(idx, plan);
+  stage_delta(lba, idx, std::move(info), plan);
+  maybe_clean(plan);
+  return IoStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Cleaning (Section III-D)
+// ---------------------------------------------------------------------------
+
+void KddCache::maybe_clean(IoPlan* plan) {
+  if (cleaning_) return;
+  const auto high = static_cast<std::uint64_t>(
+      config_.clean_high_watermark * static_cast<double>(sets_.pages()));
+  if (old_pages_ + dez_pages_ <= high) return;
+  cleaning_ = true;
+  IoPlan* clean_plan = bg_or(plan);  // cleaning runs in the background thread
+  const auto low = static_cast<std::uint64_t>(
+      config_.clean_low_watermark * static_cast<double>(sets_.pages()));
+  while (old_pages_ + dez_pages_ > low && !dirty_groups_.empty()) {
+    clean_group(dirty_groups_.begin()->first, clean_plan);
+  }
+  ++stats_.cleanings;
+  cleaning_ = false;
+}
+
+void KddCache::clean_all(IoPlan* plan) {
+  if (cleaning_) return;
+  cleaning_ = true;
+  while (!dirty_groups_.empty()) {
+    clean_group(dirty_groups_.begin()->first, plan);
+  }
+  cleaning_ = false;
+}
+
+void KddCache::clean_group(GroupId g, IoPlan* plan) {
+  const RaidLayout& layout = raid_.layout();
+  const std::uint32_t dd = layout.geometry().data_disks();
+  const std::uint32_t set = set_for(layout.group_member(g, 0));
+  const std::uint32_t base = set * sets_.ways();
+
+  std::vector<std::uint32_t> old_slots;
+  for (std::uint32_t w = 0; w < sets_.ways(); ++w) {
+    const CacheSets::CacheSlot& s = sets_.slot(base + w);
+    if (s.state == PageState::kOld && layout.group_of(s.lba) == g) {
+      old_slots.push_back(base + w);
+    }
+  }
+  KDD_CHECK(!old_slots.empty());
+
+  // Reconstruct-write only if every data member of the stripe is resident
+  // (Section III-D); otherwise RMW folds the deltas into the stale parity.
+  bool all_cached = true;
+  std::vector<std::uint32_t> member_slots(dd, CacheSets::kNone);
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    member_slots[k] = sets_.find_data(set, layout.group_member(g, k));
+    if (member_slots[k] == CacheSets::kNone) {
+      all_cached = false;
+      break;
+    }
+  }
+
+  const bool real = ssd_.real();
+  if (all_cached) {
+    std::vector<Page> data(dd);
+    std::vector<const Page*> ptrs(dd, nullptr);
+    for (std::uint32_t k = 0; k < dd; ++k) {
+      const CacheSets::CacheSlot& ms = sets_.slot(member_slots[k]);
+      if (real) {
+        Page daz = make_page();
+        ssd_.read_data(member_slots[k], daz, plan);
+        if (ms.state == PageState::kOld) {
+          const Delta d = load_delta(ms, plan);
+          data[k] = apply_delta(daz, d);
+        } else {
+          data[k] = std::move(daz);
+        }
+      } else {
+        ssd_.read_data(member_slots[k], {}, plan);
+        if (ms.state == PageState::kOld) charge_delta_read(ms, plan);
+      }
+      ptrs[k] = &data[k];
+    }
+    const IoStatus st = raid_.update_parity_reconstruct_cached(g, ptrs, plan);
+    KDD_CHECK(st == IoStatus::kOk);
+  } else {
+    std::vector<Page> diffs(old_slots.size());
+    std::vector<GroupDelta> deltas;
+    deltas.reserve(old_slots.size());
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      const CacheSets::CacheSlot& s = sets_.slot(old_slots[i]);
+      if (real) {
+        diffs[i] = delta_to_xor(load_delta(s, plan));
+      } else {
+        charge_delta_read(s, plan);
+      }
+      deltas.push_back({layout.index_in_group(s.lba), &diffs[i]});
+    }
+    const IoStatus st = raid_.update_parity_rmw(g, deltas, plan);
+    KDD_CHECK(st == IoStatus::kOk);
+  }
+
+  // Reclaim (Section III-D): scheme 1 rewrites the combined page as clean;
+  // scheme 2 (the paper's choice) simply drops old pages and their deltas.
+  for (const std::uint32_t os : old_slots) {
+    CacheSets::CacheSlot& s = sets_.slot(os);
+    if (config_.reclaim_as_clean) {
+      if (real) {
+        Page daz = make_page();
+        ssd_.read_data(os, daz, plan);
+        const Delta d = load_delta(s, plan);
+        const Page current = apply_delta(daz, d);
+        invalidate_delta(os, plan);
+        ssd_.write_data(os, SsdWriteKind::kWriteUpdate, current, plan);
+      } else {
+        ssd_.read_data(os, {}, plan);
+        charge_delta_read(s, plan);
+        invalidate_delta(os, plan);
+        ssd_.write_data(os, SsdWriteKind::kWriteUpdate, {}, plan);
+      }
+      sets_.set_state(os, PageState::kClean);
+      add_map_entry(os, plan);
+      note_group_repair(raid_.layout().group_of(s.lba));
+      --old_pages_;
+    } else {
+      invalidate_delta(os, plan);
+      drop_old_page(os, plan);
+    }
+  }
+  ++stats_.groups_cleaned;
+}
+
+void KddCache::flush(IoPlan* plan) {
+  clean_all(plan);
+  KDD_CHECK(nvram_->staging.empty());
+  log_.commit_buffer(plan);
+}
+
+void KddCache::on_idle(IoPlan* plan) { clean_all(plan); }
+
+// ---------------------------------------------------------------------------
+// Failure handling (Section III-E)
+// ---------------------------------------------------------------------------
+
+std::uint64_t KddCache::handle_disk_failure(std::uint32_t disk) {
+  KDD_CHECK(raid_.real());
+  raid_.array()->fail_disk(disk);
+  // First bring every stale parity up to date through the parity_update
+  // interface, then rebuild at the RAID layer.
+  clean_all(nullptr);
+  return raid_.array()->rebuild_disk(disk);
+}
+
+std::uint64_t KddCache::handle_ssd_failure() {
+  KDD_CHECK(raid_.real() && ssd_.real());
+  ssd_.device()->fail();
+  // Data blocks were always dispatched to RAID, so reconstruct-write over the
+  // stale groups resynchronises the array without the cache.
+  const std::uint64_t resynced = raid_.array()->resync_all_stale();
+  // Swap in a fresh cache device and restart cold.
+  ssd_.device()->replace();
+  for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
+    if (sets_.slot(i).state != PageState::kFree) sets_.reset_slot(i);
+    sets_.slot(i).home_log_page = CacheSets::kNoHome;
+  }
+  nvram_->staging.take_all();
+  nvram_->metadata.drain();
+  nvram_->log_head = nvram_->log_tail = 0;
+  dirty_groups_.clear();
+  stale_since_.clear();
+  old_pages_ = dez_pages_ = 0;
+  return resynced;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (test support)
+// ---------------------------------------------------------------------------
+
+void KddCache::check_invariants() const {
+  std::unordered_map<std::uint32_t, std::uint16_t> dez_refs;  // dez slot -> #old refs
+  std::unordered_map<GroupId, std::uint32_t> group_old;
+  std::uint64_t old_count = 0;
+  std::uint64_t dez_count = 0;
+  std::uint64_t staged_refs = 0;
+
+  for (std::uint32_t set = 0; set < sets_.num_sets(); ++set) {
+    std::uint32_t free_in_set = 0;
+    std::uint32_t dez_in_set = 0;
+    for (std::uint32_t w = 0; w < sets_.ways(); ++w) {
+      const std::uint32_t idx = set * sets_.ways() + w;
+      const CacheSets::CacheSlot& s = sets_.slot(idx);
+      switch (s.state) {
+        case PageState::kFree:
+          ++free_in_set;
+          break;
+        case PageState::kClean:
+          KDD_CHECK(s.lba != kInvalidLba);
+          // Clean pages carry no delta.
+          KDD_CHECK(s.dez_idx == CacheSets::kNone);
+          break;
+        case PageState::kOld: {
+          KDD_CHECK(s.lba != kInvalidLba);
+          ++old_count;
+          ++group_old[raid_.layout().group_of(s.lba)];
+          if (s.dez_idx == CacheSets::kStaged) {
+            const StagedDelta* d = nvram_->staging.find(s.lba);
+            KDD_CHECK(d != nullptr);
+            KDD_CHECK(d->daz_idx == idx);
+            ++staged_refs;
+          } else {
+            KDD_CHECK(s.dez_idx != CacheSets::kNone);
+            KDD_CHECK(sets_.slot(s.dez_idx).state == PageState::kDelta);
+            KDD_CHECK(s.dez_off + s.dez_len <= kPageSize);
+            ++dez_refs[s.dez_idx];
+          }
+          break;
+        }
+        case PageState::kDelta:
+          ++dez_in_set;
+          ++dez_count;
+          break;
+        case PageState::kOldVersion:
+        case PageState::kNewVersion:
+          KDD_CHECK(false);  // LeavO-only states never appear in KDD
+          break;
+      }
+    }
+    KDD_CHECK(free_in_set == sets_.free_count(set));
+    KDD_CHECK(dez_in_set == sets_.dez_count(set));
+  }
+
+  KDD_CHECK(old_count == old_pages_);
+  KDD_CHECK(dez_count == dez_pages_);
+  // Every staged delta belongs to exactly one old page and vice versa.
+  KDD_CHECK(staged_refs == nvram_->staging.size());
+  // DEZ valid counts match the number of live references.
+  for (const auto& [dez_idx, refs] : dez_refs) {
+    KDD_CHECK(sets_.slot(dez_idx).valid_count == refs);
+  }
+  std::uint64_t referenced_dez = dez_refs.size();
+  KDD_CHECK(referenced_dez == dez_count);  // no orphaned DEZ pages
+  // Dirty-group bookkeeping matches slot states, and stale groups at the
+  // RAID layer are exactly the groups with pending deltas.
+  KDD_CHECK(group_old.size() == dirty_groups_.size());
+  for (const auto& [g, n] : group_old) {
+    const auto it = dirty_groups_.find(g);
+    KDD_CHECK(it != dirty_groups_.end() && it->second == n);
+    KDD_CHECK(raid_.group_stale(g));
+  }
+  KDD_CHECK(raid_.stale_group_count() == dirty_groups_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Power-failure recovery (Section III-E1)
+// ---------------------------------------------------------------------------
+
+void KddCache::recover() {
+  KDD_CHECK(ssd_.real());
+  // 1. Head/tail counters come from NVRAM (already in nvram_). Rebuild the
+  //    log's in-memory page lists and replay the committed entries.
+  log_.rebuild_after_recovery();
+  std::vector<MetadataEntry> entries = log_.replay();
+  // 2. Overlay the NVRAM metadata buffer (newer than anything in the log).
+  for (const MetadataEntry& e : nvram_->metadata.entries()) entries.push_back(e);
+
+  // Later entries override earlier ones per slot.
+  std::unordered_map<std::uint32_t, MetadataEntry> latest;
+  for (const MetadataEntry& e : entries) latest[e.daz_idx] = e;
+
+  for (const auto& [idx, e] : latest) {
+    if (e.state == PageState::kFree) continue;
+    KDD_CHECK(e.state == PageState::kClean || e.state == PageState::kOld);
+    CacheSets::CacheSlot& s = sets_.slot(idx);
+    s.lba = e.lba_raid;
+    sets_.set_state(idx, e.state);
+    if (e.state == PageState::kOld) {
+      s.dez_idx = e.dez_idx;
+      s.dez_off = e.dez_off;
+      s.dez_len = e.dez_len;
+      note_old_transition(idx);
+    }
+  }
+  // 3. Recompute DEZ page states and valid counts from the old pages.
+  for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
+    const CacheSets::CacheSlot& s = sets_.slot(i);
+    if (s.state != PageState::kOld) continue;
+    if (s.dez_idx == CacheSets::kNone || s.dez_idx == CacheSets::kStaged) continue;
+    CacheSets::CacheSlot& dez = sets_.slot(s.dez_idx);
+    if (dez.state != PageState::kDelta) {
+      sets_.set_state(s.dez_idx, PageState::kDelta);
+      dez.valid_count = 0;
+      ++dez_pages_;
+    }
+    ++dez.valid_count;
+  }
+  // 4. Overlay the staged deltas from NVRAM: they supersede any DEZ-resident
+  //    delta recorded in the log for the same page.
+  for (const StagedDelta& sd : nvram_->staging.entries()) {
+    CacheSets::CacheSlot& s = sets_.slot(sd.daz_idx);
+    KDD_CHECK(s.lba == sd.lba);
+    if (s.state == PageState::kClean) {
+      sets_.set_state(sd.daz_idx, PageState::kOld);
+      note_old_transition(sd.daz_idx);
+    } else {
+      KDD_CHECK(s.state == PageState::kOld);
+      if (s.dez_idx != CacheSets::kStaged && s.dez_idx != CacheSets::kNone) {
+        CacheSets::CacheSlot& dez = sets_.slot(s.dez_idx);
+        KDD_CHECK(dez.state == PageState::kDelta && dez.valid_count > 0);
+        if (--dez.valid_count == 0) {
+          ssd_.trim_data(s.dez_idx);
+          sets_.reset_slot(s.dez_idx);
+          --dez_pages_;
+        }
+      }
+    }
+    s.dez_idx = CacheSets::kStaged;
+    s.dez_off = 0;
+    s.dez_len = static_cast<std::uint16_t>(sd.packed_size);
+  }
+}
+
+}  // namespace kdd

@@ -1,0 +1,87 @@
+// Content-deduplicated write-through cache — a CacheDedup-style D-LRU
+// (Li et al., FAST'16), cited in Section V-C as another route to SSD cache
+// endurance. Pages with identical contents share one flash page; the cache
+// index maps LBAs to fingerprints and fingerprints to slots with reference
+// counts, and the LRU runs over source (LBA) entries.
+//
+// Like KDD this trades CPU work for flash endurance, but along a different
+// axis: KDD exploits *temporal* content locality (small diffs between
+// versions of one block), dedup exploits *spatial* duplication (identical
+// blocks at different addresses). The two are complementary.
+//
+// Prototype-mode only: deduplication needs real page contents.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/backend.hpp"
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class DedupCachePolicy final : public CachePolicy {
+ public:
+  DedupCachePolicy(const PolicyConfig& config, RaidArray* array, SsdModel* ssd);
+
+  std::string name() const override { return "WT+dedup"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan = nullptr) override;
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data,
+                 IoPlan* plan = nullptr) override;
+
+  CacheStats stats() const override;
+
+  /// Cache insertions whose contents were already resident (no SSD write).
+  std::uint64_t dedup_hits() const { return dedup_hits_; }
+  /// Distinct flash pages currently in use.
+  std::uint64_t slots_in_use() const { return fp_index_.size(); }
+  /// LBA mappings currently live (>= slots_in_use when dedup is effective).
+  std::uint64_t mapped_lbas() const { return lba_index_.size(); }
+
+ private:
+  /// 128-bit content fingerprint (two independent FNV-1a streams — stands in
+  /// for the SHA-1 a production system would use).
+  struct Fingerprint {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  struct FingerprintHash {
+    std::size_t operator()(const Fingerprint& f) const {
+      return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct FpEntry {
+    std::uint32_t slot = 0;
+    std::uint32_t refs = 0;
+  };
+  struct LbaEntry {
+    Fingerprint fp;
+    std::list<Lba>::iterator lru_pos;
+  };
+
+  static Fingerprint fingerprint(std::span<const std::uint8_t> data);
+
+  /// Maps `lba` to content `data`, deduplicating against resident pages.
+  /// `kind` attributes the SSD write if one is needed.
+  void insert(Lba lba, std::span<const std::uint8_t> data, SsdWriteKind kind,
+              IoPlan* plan);
+  void unmap(Lba lba);
+  void evict_lru();
+  void lru_touch(Lba lba);
+
+  PolicyConfig config_;
+  CacheSsd ssd_;
+  RaidBackend raid_;
+  CacheStats stats_;
+
+  std::unordered_map<Lba, LbaEntry> lba_index_;
+  std::unordered_map<Fingerprint, FpEntry, FingerprintHash> fp_index_;
+  std::unordered_map<std::uint32_t, Fingerprint> slot_to_fp_;
+  std::vector<std::uint32_t> free_slots_;
+  std::list<Lba> lru_;  ///< front = most recent
+  std::uint64_t dedup_hits_ = 0;
+};
+
+}  // namespace kdd

@@ -1,0 +1,57 @@
+// LeavO (Lee et al., SAC'15), as characterised in Sections I/II-B of the
+// paper: write-through-based caching that postpones parity updates by keeping
+// both the old and the new version of a written page in the SSD. The parity
+// of the affected stripe goes stale and is repaired by a background cleaner
+// using old XOR new as the delta.
+//
+// Costs relative to KDD (what Figures 5-8 measure):
+//  * every delayed write stores a full extra page (vs. a compressed delta),
+//  * the pinned version pairs halve the effective capacity for dirty data,
+//  * cache metadata is persisted in a direct-mapped on-SSD table, so a
+//    buffer flush dirties one table page per 256-slot region it touches —
+//    far worse batching than KDD's circular log.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/nvram.hpp"
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class LeavOPolicy final : public BlockCacheBase {
+ public:
+  LeavOPolicy(const PolicyConfig& config, const RaidGeometry& geo);
+  LeavOPolicy(const PolicyConfig& config, RaidArray* array, SsdModel* ssd);
+
+  std::string name() const override { return "LeavO"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) override;
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) override;
+  void flush(IoPlan* plan) override;
+  void on_idle(IoPlan* plan) override;
+
+  std::uint64_t pinned_pages() const { return pinned_pages_; }
+
+ protected:
+  void on_evict_slot(std::uint32_t idx) override;
+
+ private:
+  static constexpr std::size_t kEntriesPerTablePage =
+      kPageSize / MetadataEntry::kSerializedSize;
+
+  /// Records that slot `idx`'s persistent mapping changed; flushes the buffer
+  /// to the direct-mapped table when full.
+  void note_metadata(std::uint32_t idx, IoPlan* plan);
+  void flush_metadata(IoPlan* plan);
+
+  std::uint32_t take_slot(std::uint32_t set);
+  void maybe_clean(IoPlan* plan);
+  void clean_group(GroupId g, IoPlan* plan);
+
+  MetadataBuffer meta_buffer_;
+  std::unordered_map<GroupId, std::uint32_t> dirty_groups_;  ///< pairs per group
+  std::uint64_t pinned_pages_ = 0;  ///< kOldVersion + kNewVersion slots
+};
+
+}  // namespace kdd

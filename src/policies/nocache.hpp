@@ -1,0 +1,42 @@
+// "Nossd" baseline: every request goes straight to the RAID array
+// (Section IV-B's no-cache comparison point).
+#pragma once
+
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class NoCachePolicy final : public CachePolicy {
+ public:
+  /// Counter mode.
+  explicit NoCachePolicy(const RaidGeometry& geo) : raid_(geo) {}
+  /// Prototype mode.
+  explicit NoCachePolicy(RaidArray* array) : raid_(array) {}
+
+  std::string name() const override { return "Nossd"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) override {
+    ++stats_.read_misses;
+    return raid_.read_page(lba, out, plan);
+  }
+
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) override {
+    ++stats_.write_misses;
+    return raid_.write_page(lba, data, plan);
+  }
+
+  CacheStats stats() const override {
+    CacheStats s = stats_;
+    s.disk_reads = raid_.disk_reads();
+    s.disk_writes = raid_.disk_writes();
+    return s;
+  }
+
+  RaidBackend& raid() { return raid_; }
+
+ private:
+  RaidBackend raid_;
+  CacheStats stats_;
+};
+
+}  // namespace kdd

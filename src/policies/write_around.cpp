@@ -1,0 +1,50 @@
+#include "policies/write_around.hpp"
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+WriteAroundPolicy::WriteAroundPolicy(const PolicyConfig& config,
+                                     const RaidGeometry& geo)
+    : BlockCacheBase(config, geo, 0,
+                     plan_cache_layout(config, /*needs_metadata=*/false).cache_pages) {}
+
+WriteAroundPolicy::WriteAroundPolicy(const PolicyConfig& config, RaidArray* array,
+                                     SsdModel* ssd)
+    : BlockCacheBase(config, array, ssd, 0,
+                     plan_cache_layout(config, /*needs_metadata=*/false).cache_pages) {}
+
+IoStatus WriteAroundPolicy::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx != CacheSets::kNone) {
+    ++stats_.read_hits;
+    sets_.lru_touch(idx);
+    return ssd_.read_data(idx, out, plan);
+  }
+  ++stats_.read_misses;
+  const IoStatus st = raid_.read_page(lba, out, plan);
+  if (st != IoStatus::kOk) return st;
+  std::uint32_t slot = sets_.find_free(set);
+  if (slot == CacheSets::kNone) slot = evict_lru_clean(set);
+  KDD_CHECK(slot != CacheSets::kNone);
+  ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan);
+  sets_.slot(slot).lba = lba;
+  sets_.set_state(slot, PageState::kClean);
+  return IoStatus::kOk;
+}
+
+IoStatus WriteAroundPolicy::write(Lba lba, std::span<const std::uint8_t> data,
+                                  IoPlan* plan) {
+  // Writes never touch the SSD; a cached copy would go stale, so drop it.
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx != CacheSets::kNone) {
+    ssd_.trim_data(idx);
+    sets_.reset_slot(idx);
+  }
+  ++stats_.write_bypasses;
+  return raid_.write_page(lba, data, plan);
+}
+
+}  // namespace kdd

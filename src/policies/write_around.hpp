@@ -1,0 +1,22 @@
+// Write-around SSD caching (Section II-B): writes bypass the cache entirely
+// (any stale cached copy is invalidated); only read misses allocate. This
+// minimises SSD wear but leaves the small-write penalty untouched and serves
+// recently-written data from disk.
+#pragma once
+
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class WriteAroundPolicy final : public BlockCacheBase {
+ public:
+  WriteAroundPolicy(const PolicyConfig& config, const RaidGeometry& geo);
+  WriteAroundPolicy(const PolicyConfig& config, RaidArray* array, SsdModel* ssd);
+
+  std::string name() const override { return "WA"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) override;
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) override;
+};
+
+}  // namespace kdd

@@ -1,0 +1,166 @@
+#include "policies/write_back.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+WriteBackPolicy::WriteBackPolicy(const PolicyConfig& config, const RaidGeometry& geo)
+    : BlockCacheBase(config, geo, 0,
+                     plan_cache_layout(config, /*needs_metadata=*/false).cache_pages) {}
+
+WriteBackPolicy::WriteBackPolicy(const PolicyConfig& config, RaidArray* array,
+                                 SsdModel* ssd)
+    : BlockCacheBase(config, array, ssd, 0,
+                     plan_cache_layout(config, /*needs_metadata=*/false).cache_pages) {}
+
+std::uint32_t WriteBackPolicy::take_slot(std::uint32_t set, IoPlan* plan) {
+  std::uint32_t idx = sets_.find_free(set);
+  if (idx == CacheSets::kNone) idx = evict_lru_clean(set);
+  if (idx == CacheSets::kNone) {
+    // The set is packed with dirty pages: write one back synchronously.
+    const std::uint32_t base = set * sets_.ways();
+    for (std::uint32_t w = 0; w < sets_.ways(); ++w) {
+      if (sets_.slot(base + w).state == PageState::kOld) {
+        write_back_slot(base + w, plan);
+        ssd_.trim_data(base + w);
+        sets_.reset_slot(base + w);
+        return base + w;
+      }
+    }
+  }
+  return idx;
+}
+
+IoStatus WriteBackPolicy::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx != CacheSets::kNone) {
+    ++stats_.read_hits;
+    if (sets_.slot(idx).state == PageState::kClean) sets_.lru_touch(idx);
+    return ssd_.read_data(idx, out, plan);
+  }
+  ++stats_.read_misses;
+  const IoStatus st = raid_.read_page(lba, out, plan);
+  if (st != IoStatus::kOk) return st;
+  const std::uint32_t slot = take_slot(set, plan);
+  if (slot == CacheSets::kNone) return IoStatus::kOk;
+  ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan);
+  sets_.slot(slot).lba = lba;
+  sets_.set_state(slot, PageState::kClean);
+  return IoStatus::kOk;
+}
+
+IoStatus WriteBackPolicy::write(Lba lba, std::span<const std::uint8_t> data,
+                                IoPlan* plan) {
+  const std::uint32_t set = set_for(lba);
+  std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx != CacheSets::kNone) {
+    ++stats_.write_hits;
+  } else {
+    ++stats_.write_misses;
+    idx = take_slot(set, plan);
+    if (idx == CacheSets::kNone) {
+      // Nowhere to park the dirty page: fall through to the array.
+      ++stats_.write_bypasses;
+      --stats_.write_misses;
+      return raid_.write_page(lba, data, plan);
+    }
+    sets_.slot(idx).lba = lba;
+    sets_.set_state(idx, PageState::kClean);
+  }
+  // The write is acknowledged once it is on the SSD — the RAID array is NOT
+  // updated here. That is exactly the data-loss exposure.
+  ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan);
+  if (sets_.slot(idx).state == PageState::kClean) {
+    sets_.set_state(idx, PageState::kOld);  // pinned dirty
+  }
+  dirty_.insert(idx);
+  maybe_flush_dirty(plan);
+  return IoStatus::kOk;
+}
+
+void WriteBackPolicy::write_back_slot(std::uint32_t idx, IoPlan* plan) {
+  CacheSets::CacheSlot& slot = sets_.slot(idx);
+  KDD_CHECK(slot.state == PageState::kOld);
+  if (ssd_.real()) {
+    Page data = make_page();
+    ssd_.read_data(idx, data, plan);
+    const IoStatus st = raid_.write_page(slot.lba, data, plan);
+    KDD_CHECK(st == IoStatus::kOk);
+  } else {
+    ssd_.read_data(idx, {}, plan);
+    raid_.write_page(slot.lba, {}, plan);
+  }
+  dirty_.erase(idx);
+  sets_.set_state(idx, PageState::kClean);
+}
+
+std::size_t WriteBackPolicy::write_back_group_of(std::uint32_t idx, IoPlan* plan) {
+  const RaidLayout& layout = raid_.layout();
+  const CacheSets::CacheSlot& slot = sets_.slot(idx);
+  const GroupId g = layout.group_of(slot.lba);
+  const std::uint32_t dd = layout.geometry().data_disks();
+  const std::uint32_t set = sets_.set_of(idx);
+
+  // Full-stripe candidate: all data members resident and dirty.
+  std::vector<std::uint32_t> members(dd, CacheSets::kNone);
+  bool all_dirty = dd > 1;
+  for (std::uint32_t k = 0; k < dd && all_dirty; ++k) {
+    members[k] = sets_.find_state(set, layout.group_member(g, k), PageState::kOld);
+    if (members[k] == CacheSets::kNone) all_dirty = false;
+  }
+  if (!all_dirty) {
+    write_back_slot(idx, plan);
+    return 1;
+  }
+  const bool real = ssd_.real();
+  std::vector<Page> data(dd);
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    if (real) data[k] = make_page();
+    ssd_.read_data(members[k],
+                   real ? std::span<std::uint8_t>(data[k]) : std::span<std::uint8_t>{},
+                   plan);
+  }
+  const IoStatus st = raid_.write_group(g, data, plan);
+  KDD_CHECK(st == IoStatus::kOk);
+  for (const std::uint32_t m : members) {
+    dirty_.erase(m);
+    sets_.set_state(m, PageState::kClean);
+  }
+  ++full_stripe_writebacks_;
+  return dd;
+}
+
+void WriteBackPolicy::maybe_flush_dirty(IoPlan* plan) {
+  const auto high = static_cast<std::uint64_t>(
+      config_.clean_high_watermark * static_cast<double>(sets_.pages()));
+  if (dirty_.size() <= high) return;
+  IoPlan* bg = bg_or(plan);
+  const auto low = static_cast<std::uint64_t>(
+      config_.clean_low_watermark * static_cast<double>(sets_.pages()));
+  while (dirty_.size() > low) {
+    write_back_group_of(*dirty_.begin(), bg);
+  }
+  ++stats_.cleanings;
+}
+
+void WriteBackPolicy::flush(IoPlan* plan) {
+  while (!dirty_.empty()) write_back_group_of(*dirty_.begin(), plan);
+}
+
+void WriteBackPolicy::on_idle(IoPlan* plan) { flush(plan); }
+
+std::uint64_t WriteBackPolicy::fail_ssd_and_count_lost() {
+  const std::uint64_t lost = dirty_.size();
+  if (ssd_.real()) ssd_.device()->fail();
+  // Whatever was dirty is gone; the cache restarts cold with stale RAID data.
+  for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
+    if (sets_.slot(i).state != PageState::kFree) sets_.reset_slot(i);
+  }
+  dirty_.clear();
+  return lost;
+}
+
+}  // namespace kdd

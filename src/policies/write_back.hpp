@@ -1,0 +1,60 @@
+// Write-back SSD caching — implemented as a documented *non-goal* baseline.
+//
+// The paper's evaluation deliberately excludes write-back "because it cannot
+// prevent data loss under SSD failures" (Section IV-A1). We implement it
+// anyway so that claim is demonstrable: write-back acknowledges writes once
+// they hit the SSD, so it has the best latency and low RAID traffic, but a
+// cache-device failure loses every dirty page (RPO > 0) — see
+// tests/test_writeback.cpp and the failure_drill example for the contrast
+// with KDD's RPO = 0.
+#pragma once
+
+#include <unordered_set>
+
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class WriteBackPolicy final : public BlockCacheBase {
+ public:
+  WriteBackPolicy(const PolicyConfig& config, const RaidGeometry& geo);
+  WriteBackPolicy(const PolicyConfig& config, RaidArray* array, SsdModel* ssd);
+
+  std::string name() const override { return "WB"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan = nullptr) override;
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data,
+                 IoPlan* plan = nullptr) override;
+  void flush(IoPlan* plan = nullptr) override;
+  void on_idle(IoPlan* plan = nullptr) override;
+
+  std::uint64_t dirty_pages() const { return dirty_.size(); }
+
+  /// Simulates a cache-device failure: the array keeps only what was flushed.
+  /// Returns the number of dirty pages whose latest contents were lost.
+  std::uint64_t fail_ssd_and_count_lost();
+
+ private:
+  /// Writes the dirty page back to RAID with a full parity update and marks
+  /// it clean.
+  void write_back_slot(std::uint32_t idx, IoPlan* plan);
+  /// Stripe-aware write-back: when every data member of the page's parity
+  /// group is cached dirty, the whole group goes out as one full-stripe
+  /// write (no parity reads — the Section I "small writes can be reduced to
+  /// full stripe writes" effect). Returns the number of slots cleaned.
+  std::size_t write_back_group_of(std::uint32_t idx, IoPlan* plan);
+  void maybe_flush_dirty(IoPlan* plan);
+  std::uint32_t take_slot(std::uint32_t set, IoPlan* plan);
+
+ public:
+  std::uint64_t full_stripe_writebacks() const { return full_stripe_writebacks_; }
+
+ private:
+  std::uint64_t full_stripe_writebacks_ = 0;
+
+  /// Slots holding dirty (newer-than-RAID) data. Dirty pages use state kOld
+  /// (pinned out of the LRU) so the shared eviction path never drops them.
+  std::unordered_set<std::uint32_t> dirty_;
+};
+
+}  // namespace kdd

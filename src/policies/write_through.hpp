@@ -1,0 +1,28 @@
+// Write-through SSD caching (Section II-B): every write updates both the
+// cache and the RAID array with a full parity update; reads are served from
+// the cache when possible. RPO = 0 under SSD failure, but the small-write
+// penalty is untouched and every write costs an SSD page program.
+#pragma once
+
+#include "cache/policy.hpp"
+
+namespace kdd {
+
+class WriteThroughPolicy final : public BlockCacheBase {
+ public:
+  WriteThroughPolicy(const PolicyConfig& config, const RaidGeometry& geo);
+  WriteThroughPolicy(const PolicyConfig& config, RaidArray* array, SsdModel* ssd);
+
+  std::string name() const override { return "WT"; }
+
+  IoStatus read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) override;
+  IoStatus write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) override;
+
+ private:
+  /// Allocates a slot for `lba` (free slot or LRU-clean eviction).
+  /// Returns kNone when the set is exhausted (never happens for WT: every
+  /// resident page is clean, hence evictable).
+  std::uint32_t take_slot(std::uint32_t set);
+};
+
+}  // namespace kdd

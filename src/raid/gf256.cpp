@@ -1,0 +1,94 @@
+#include "raid/gf256.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace kdd::gf256 {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp;  // doubled to avoid mod in mul
+  std::array<std::uint8_t, 256> log;
+
+  Tables() {
+    std::uint8_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = x;
+      exp[i + 255] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply by generator 2 with reduction by 0x11d
+      const bool carry = (x & 0x80) != 0;
+      x = static_cast<std::uint8_t>(x << 1);
+      if (carry) x = static_cast<std::uint8_t>(x ^ 0x1d);
+    }
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    log[0] = 0;  // never consulted for zero
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  KDD_CHECK(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  KDD_CHECK(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t exp(unsigned e) { return tables().exp[e % 255]; }
+
+std::uint8_t log(std::uint8_t a) {
+  KDD_CHECK(a != 0);
+  return tables().log[a];
+}
+
+void mul_acc(std::span<std::uint8_t> dst, std::uint8_t c,
+             std::span<const std::uint8_t> src) {
+  KDD_DCHECK(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned lc = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+void scale(std::span<std::uint8_t> dst, std::uint8_t c) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned lc = t.log[c];
+  for (auto& b : dst) {
+    if (b != 0) b = t.exp[lc + t.log[b]];
+  }
+}
+
+}  // namespace kdd::gf256

@@ -1,0 +1,36 @@
+// GF(2^8) arithmetic for RAID-6 Reed-Solomon (P+Q) coding.
+//
+// Field: polynomial basis with the conventional RAID-6 reducing polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator g = 2. Q parity is
+// Q = sum_i g^i * D_i; rebuilding one or two lost data blocks solves the
+// corresponding linear system over this field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kdd::gf256 {
+
+/// Multiplies two field elements.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse. a must be nonzero.
+std::uint8_t inv(std::uint8_t a);
+
+/// a / b. b must be nonzero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// g^e for generator g = 2 (e taken mod 255).
+std::uint8_t exp(unsigned e);
+
+/// Discrete log base g of a nonzero element.
+std::uint8_t log(std::uint8_t a);
+
+/// dst ^= c * src, element-wise over byte buffers (the RAID-6 inner loop).
+void mul_acc(std::span<std::uint8_t> dst, std::uint8_t c,
+             std::span<const std::uint8_t> src);
+
+/// dst = c * dst.
+void scale(std::span<std::uint8_t> dst, std::uint8_t c);
+
+}  // namespace kdd::gf256

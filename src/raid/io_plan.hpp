@@ -1,0 +1,73 @@
+// IoPlan: the bridge between the data plane and the timing plane.
+//
+// Every logical operation (array read, RMW write, cache hit, ...) executes
+// immediately against the in-memory devices for correctness, and — when the
+// caller passes a plan — records the device I/Os it performed as a sequence
+// of phases. Ops within a phase are independent (issued in parallel); phases
+// are ordered (phase k+1 starts when all ops of phase k completed). The
+// discrete-event simulator replays plans against per-device queues to obtain
+// response times, exactly mirroring e.g. RAID-5 RMW's
+// [read data, read parity] -> [write data, write parity] dependency shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blockdev/timing.hpp"
+#include "common/units.hpp"
+
+namespace kdd {
+
+struct DeviceOp {
+  enum class Target : std::uint8_t { kHdd, kSsd };
+
+  Target target = Target::kHdd;
+  std::uint32_t device = 0;  ///< disk index for kHdd; 0 for the single SSD
+  Lba page = 0;
+  IoKind kind = IoKind::kRead;
+};
+
+class IoPlan {
+ public:
+  /// Appends `op` to phase `phase`, growing the phase list as needed.
+  void add(std::size_t phase, DeviceOp op) {
+    if (phases_.size() <= phase) phases_.resize(phase + 1);
+    phases_[phase].push_back(op);
+  }
+
+  /// Appends all phases of `other` after the current last phase.
+  void append_sequential(const IoPlan& other) {
+    for (const auto& ph : other.phases_) {
+      if (ph.empty()) continue;
+      phases_.push_back(ph);
+    }
+  }
+
+  /// Merges `other` phase-by-phase (phase k of both plans proceeds in
+  /// parallel) — used to combine the per-page plans of a multi-page request.
+  void merge_parallel(const IoPlan& other) {
+    if (phases_.size() < other.phases_.size()) phases_.resize(other.phases_.size());
+    for (std::size_t i = 0; i < other.phases_.size(); ++i) {
+      phases_[i].insert(phases_[i].end(), other.phases_[i].begin(),
+                        other.phases_[i].end());
+    }
+  }
+
+  /// Index of the next phase to add to (== current phase count).
+  std::size_t next_phase() const { return phases_.size(); }
+
+  const std::vector<std::vector<DeviceOp>>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void clear() { phases_.clear(); }
+
+  std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const auto& ph : phases_) n += ph.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<DeviceOp>> phases_;
+};
+
+}  // namespace kdd

@@ -1,0 +1,87 @@
+#include "raid/layout.hpp"
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+RaidLayout::RaidLayout(const RaidGeometry& geo) : geo_(geo) {
+  KDD_CHECK(geo_.num_disks > geo_.parity_disks());
+  KDD_CHECK(geo_.chunk_pages > 0);
+  KDD_CHECK(geo_.disk_pages >= geo_.chunk_pages);
+  if (geo_.level == RaidLevel::kRaid6) KDD_CHECK(geo_.num_disks >= 4);
+}
+
+std::uint32_t RaidLayout::parity_disk(std::uint64_t stripe_row) const {
+  KDD_DCHECK(geo_.level != RaidLevel::kRaid0);
+  // Left-symmetric: parity rotates from the last disk downwards.
+  return geo_.num_disks - 1 -
+         static_cast<std::uint32_t>(stripe_row % geo_.num_disks);
+}
+
+std::uint32_t RaidLayout::q_parity_disk(std::uint64_t stripe_row) const {
+  KDD_DCHECK(geo_.level == RaidLevel::kRaid6);
+  return (parity_disk(stripe_row) + 1) % geo_.num_disks;
+}
+
+std::uint32_t RaidLayout::data_disk(std::uint64_t stripe_row, std::uint32_t idx) const {
+  KDD_DCHECK(idx < geo_.data_disks());
+  if (geo_.level == RaidLevel::kRaid0) return idx;
+  // Data fills the disks after Q (RAID-6) / P (RAID-5), wrapping around —
+  // the left-symmetric arrangement that keeps sequential reads balanced.
+  const std::uint32_t first =
+      geo_.level == RaidLevel::kRaid6 ? (q_parity_disk(stripe_row) + 1) % geo_.num_disks
+                                      : (parity_disk(stripe_row) + 1) % geo_.num_disks;
+  return (first + idx) % geo_.num_disks;
+}
+
+DiskAddr RaidLayout::map(Lba logical) const {
+  KDD_DCHECK(logical < geo_.data_pages());
+  const std::uint64_t row_capacity =
+      static_cast<std::uint64_t>(geo_.data_disks()) * geo_.chunk_pages;
+  const std::uint64_t stripe_row = logical / row_capacity;
+  const std::uint64_t within = logical % row_capacity;
+  const auto idx = static_cast<std::uint32_t>(within / geo_.chunk_pages);
+  const std::uint64_t page_in_chunk = within % geo_.chunk_pages;
+  return {data_disk(stripe_row, idx), stripe_row * geo_.chunk_pages + page_in_chunk};
+}
+
+GroupId RaidLayout::group_of(Lba logical) const {
+  KDD_DCHECK(logical < geo_.data_pages());
+  const std::uint64_t row_capacity =
+      static_cast<std::uint64_t>(geo_.data_disks()) * geo_.chunk_pages;
+  const std::uint64_t stripe_row = logical / row_capacity;
+  const std::uint64_t page_in_chunk = (logical % row_capacity) % geo_.chunk_pages;
+  return stripe_row * geo_.chunk_pages + page_in_chunk;
+}
+
+std::uint32_t RaidLayout::index_in_group(Lba logical) const {
+  const std::uint64_t row_capacity =
+      static_cast<std::uint64_t>(geo_.data_disks()) * geo_.chunk_pages;
+  return static_cast<std::uint32_t>((logical % row_capacity) / geo_.chunk_pages);
+}
+
+Lba RaidLayout::group_member(GroupId g, std::uint32_t idx) const {
+  KDD_DCHECK(idx < geo_.data_disks());
+  const std::uint64_t stripe_row = g / geo_.chunk_pages;
+  const std::uint64_t page_in_chunk = g % geo_.chunk_pages;
+  const std::uint64_t row_capacity =
+      static_cast<std::uint64_t>(geo_.data_disks()) * geo_.chunk_pages;
+  return stripe_row * row_capacity +
+         static_cast<std::uint64_t>(idx) * geo_.chunk_pages + page_in_chunk;
+}
+
+DiskAddr RaidLayout::parity_addr(GroupId g) const {
+  KDD_DCHECK(geo_.level != RaidLevel::kRaid0);
+  const std::uint64_t stripe_row = g / geo_.chunk_pages;
+  const std::uint64_t page_in_chunk = g % geo_.chunk_pages;
+  return {parity_disk(stripe_row), stripe_row * geo_.chunk_pages + page_in_chunk};
+}
+
+DiskAddr RaidLayout::q_parity_addr(GroupId g) const {
+  KDD_DCHECK(geo_.level == RaidLevel::kRaid6);
+  const std::uint64_t stripe_row = g / geo_.chunk_pages;
+  const std::uint64_t page_in_chunk = g % geo_.chunk_pages;
+  return {q_parity_disk(stripe_row), stripe_row * geo_.chunk_pages + page_in_chunk};
+}
+
+}  // namespace kdd

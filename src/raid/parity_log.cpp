@@ -1,0 +1,116 @@
+#include "raid/parity_log.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+ParityLogRaid::ParityLogRaid(RaidArray* array, std::uint64_t log_pages,
+                             double apply_threshold)
+    : array_(array),
+      log_(std::make_unique<MemBlockDevice>(log_pages)),
+      apply_threshold_(apply_threshold) {
+  KDD_CHECK(array_ != nullptr);
+  KDD_CHECK(array_->geometry().level == RaidLevel::kRaid5);
+  KDD_CHECK(log_pages > 0);
+  KDD_CHECK(apply_threshold_ > 0.0 && apply_threshold_ <= 1.0);
+  pending_.reserve(log_pages);
+}
+
+IoStatus ParityLogRaid::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  // A degraded read reconstructs through parity, which must be current.
+  const DiskAddr addr = array_->layout().map(lba);
+  if (array_->disk_failed(addr.disk) && !pending_.empty()) apply_log(plan);
+  return array_->read_page(lba, out, plan);
+}
+
+IoStatus ParityLogRaid::write_page(Lba lba, std::span<const std::uint8_t> data,
+                                   IoPlan* plan) {
+  if (log_used_ >= log_->num_pages() ||
+      static_cast<double>(log_used_) >=
+          apply_threshold_ * static_cast<double>(log_->num_pages())) {
+    apply_log(plan);
+  }
+  // Read the old data, compute the parity update image.
+  Page old_data = make_page();
+  const DiskAddr addr = array_->layout().map(lba);
+  if (array_->disk_failed(addr.disk)) {
+    // Degraded: fall back to the array's general write (parity current after
+    // apply_log above, so reconstruction is safe).
+    if (!pending_.empty()) apply_log(plan);
+    return array_->write_page(lba, data, plan);
+  }
+  const std::size_t phase = plan ? plan->next_phase() : 0;
+  if (array_->disk(addr.disk).read(addr.page, old_data) != IoStatus::kOk) {
+    return IoStatus::kFailed;
+  }
+  if (plan) plan->add(phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
+  xor_into(old_data, data);  // old_data now holds the parity update image
+
+  // Write the new data (without touching parity) and append the image.
+  if (array_->write_page_nopar(lba, data, plan) != IoStatus::kOk) {
+    return IoStatus::kFailed;
+  }
+  const std::uint64_t log_page = log_used_++;
+  if (log_->write(log_page, old_data) != IoStatus::kOk) return IoStatus::kFailed;
+  ++log_appends_;
+  if (plan) {
+    // The log disk is addressed as HDD index num_disks (sequential appends).
+    plan->add(plan->next_phase() == 0 ? 0 : plan->next_phase() - 1,
+              {DeviceOp::Target::kHdd, array_->geometry().num_disks, log_page,
+               IoKind::kWrite});
+  }
+  pending_.push_back({array_->layout().group_of(lba),
+                      array_->layout().index_in_group(lba), log_page});
+  return IoStatus::kOk;
+}
+
+std::uint64_t ParityLogRaid::apply_log(IoPlan* plan) {
+  if (pending_.empty()) return 0;
+  ++applies_;
+  // Batch by group: read each image (large sequential log read), fold all
+  // images of one group into its parity with a single RMW pair.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingImage& a, const PendingImage& b) {
+              return a.group < b.group || (a.group == b.group && a.log_page < b.log_page);
+            });
+  const std::size_t read_phase = plan ? plan->next_phase() : 0;
+  std::uint64_t groups = 0;
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    const GroupId g = pending_[i].group;
+    Page image = make_page();
+    Page combined = make_page();
+    std::vector<GroupDelta> deltas;
+    std::vector<Page> diffs;
+    // Collect all images of this group; images for the same page compose by
+    // XOR (old1^new1 ^ old2^new2 == old1^new2 when new1 == old2).
+    std::unordered_map<std::uint32_t, std::size_t> by_index;
+    while (i < pending_.size() && pending_[i].group == g) {
+      if (log_->read(pending_[i].log_page, image) != IoStatus::kOk) return groups;
+      if (plan) {
+        plan->add(read_phase, {DeviceOp::Target::kHdd, array_->geometry().num_disks,
+                               pending_[i].log_page, IoKind::kRead});
+      }
+      const auto it = by_index.find(pending_[i].index);
+      if (it == by_index.end()) {
+        by_index[pending_[i].index] = diffs.size();
+        diffs.push_back(image);
+      } else {
+        xor_into(diffs[it->second], image);
+      }
+      ++i;
+    }
+    deltas.reserve(diffs.size());
+    for (const auto& [index, pos] : by_index) deltas.push_back({index, &diffs[pos]});
+    const IoStatus st = array_->update_parity_rmw(g, deltas, plan);
+    KDD_CHECK(st == IoStatus::kOk);
+    ++groups;
+  }
+  pending_.clear();
+  log_used_ = 0;
+  return groups;
+}
+
+}  // namespace kdd

@@ -1,0 +1,525 @@
+#include "raid/raid_array.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "raid/gf256.hpp"
+
+namespace kdd {
+
+namespace {
+
+// Solves for two lost data members i, j of a RAID-6 group given the partial
+// sums P' = P ^ sum(known D_k) and Q' = Q ^ sum(g^k D_k):
+//   D_i = (Q' ^ g^j * P') / (g^i ^ g^j),   D_j = P' ^ D_i.
+void solve_two_erasures(std::uint32_t i, std::uint32_t j, const Page& p_prime,
+                        const Page& q_prime, Page& di, Page& dj) {
+  const std::uint8_t gi = gf256::exp(i);
+  const std::uint8_t gj = gf256::exp(j);
+  const std::uint8_t denom_inv = gf256::inv(static_cast<std::uint8_t>(gi ^ gj));
+  di.assign(kPageSize, 0);
+  gf256::mul_acc(di, gj, p_prime);
+  xor_into(di, q_prime);
+  gf256::scale(di, denom_inv);
+  dj = p_prime;
+  xor_into(dj, di);
+}
+
+}  // namespace
+
+RaidArray::RaidArray(const RaidGeometry& geo) : layout_(geo) {
+  disks_.reserve(geo.num_disks);
+  for (std::uint32_t i = 0; i < geo.num_disks; ++i) {
+    disks_.push_back(std::make_unique<MemBlockDevice>(geo.disk_pages));
+  }
+}
+
+bool RaidArray::group_has_failed_member(GroupId g) const {
+  const RaidGeometry& geo = layout_.geometry();
+  const std::uint64_t row = g / geo.chunk_pages;
+  for (std::uint32_t idx = 0; idx < geo.data_disks(); ++idx) {
+    if (disks_[layout_.data_disk(row, idx)]->failed()) return true;
+  }
+  if (geo.level != RaidLevel::kRaid0) {
+    if (disks_[layout_.parity_disk(row)]->failed()) return true;
+    if (geo.level == RaidLevel::kRaid6 && disks_[layout_.q_parity_disk(row)]->failed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+IoStatus RaidArray::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  const DiskAddr addr = layout_.map(lba);
+  if (!disks_[addr.disk]->failed()) {
+    if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
+    return disks_[addr.disk]->read(addr.page, out);
+  }
+  // Degraded read: reconstruct from the surviving members of the group.
+  const GroupId g = layout_.group_of(lba);
+  if (plan) {
+    const std::size_t phase = plan->next_phase();
+    const RaidGeometry& geo = layout_.geometry();
+    const std::uint64_t row = g / geo.chunk_pages;
+    const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
+    for (std::uint32_t d = 0; d < geo.num_disks; ++d) {
+      if (!disks_[d]->failed()) {
+        plan->add(phase, {DeviceOp::Target::kHdd, d, page, IoKind::kRead});
+      }
+    }
+  }
+  return reconstruct_data(g, layout_.index_in_group(lba), out);
+}
+
+IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
+                                     std::span<std::uint8_t> out) {
+  const RaidGeometry& geo = layout_.geometry();
+  if (geo.level == RaidLevel::kRaid0) return IoStatus::kFailed;
+  const std::uint32_t dd = geo.data_disks();
+
+  // Gather survivors.
+  std::vector<std::uint32_t> lost_data;
+  Page p_prime = make_page();  // running XOR of known data
+  Page q_prime = make_page();  // running XOR of g^k * known data
+  Page buf = make_page();
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    if (k == idx) continue;
+    const DiskAddr a = layout_.map(layout_.group_member(g, k));
+    if (disks_[a.disk]->failed()) {
+      lost_data.push_back(k);
+      continue;
+    }
+    if (disks_[a.disk]->read(a.page, buf) != IoStatus::kOk) return IoStatus::kFailed;
+    xor_into(p_prime, buf);
+    if (geo.level == RaidLevel::kRaid6) gf256::mul_acc(q_prime, gf256::exp(k), buf);
+  }
+  const DiskAddr pa = layout_.parity_addr(g);
+  const bool p_alive = !disks_[pa.disk]->failed();
+  const bool q_alive = geo.level == RaidLevel::kRaid6 &&
+                       !disks_[layout_.q_parity_addr(g).disk]->failed();
+
+  if (lost_data.empty()) {
+    // Single data erasure.
+    if (p_alive) {
+      if (disks_[pa.disk]->read(pa.page, out) != IoStatus::kOk) return IoStatus::kFailed;
+      xor_into(out, p_prime);
+      return IoStatus::kOk;
+    }
+    if (q_alive) {
+      const DiskAddr qa = layout_.q_parity_addr(g);
+      Page q = make_page();
+      if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      xor_into(q, q_prime);  // q = g^idx * D_idx
+      gf256::scale(q, gf256::inv(gf256::exp(idx)));
+      std::copy(q.begin(), q.end(), out.begin());
+      return IoStatus::kOk;
+    }
+    return IoStatus::kFailed;
+  }
+  if (lost_data.size() == 1 && geo.level == RaidLevel::kRaid6 && p_alive && q_alive) {
+    // Two data erasures (idx plus one more): need both parities.
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    Page p = make_page();
+    Page q = make_page();
+    if (disks_[pa.disk]->read(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    xor_into(p, p_prime);
+    xor_into(q, q_prime);
+    Page di;
+    Page dj;
+    solve_two_erasures(idx, lost_data[0], p, q, di, dj);
+    std::copy(di.begin(), di.end(), out.begin());
+    return IoStatus::kOk;
+  }
+  return IoStatus::kFailed;  // beyond the configured fault tolerance
+}
+
+void RaidArray::compute_parity(std::span<const Page> data, Page& p, Page* q) const {
+  p.assign(kPageSize, 0);
+  if (q) q->assign(kPageSize, 0);
+  for (std::uint32_t k = 0; k < data.size(); ++k) {
+    xor_into(p, data[k]);
+    if (q) gf256::mul_acc(*q, gf256::exp(k), data[k]);
+  }
+}
+
+IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
+                               IoPlan* plan) {
+  const RaidGeometry& geo = layout_.geometry();
+  const DiskAddr addr = layout_.map(lba);
+  if (geo.level == RaidLevel::kRaid0) {
+    if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
+    return disks_[addr.disk]->write(addr.page, data);
+  }
+  const GroupId g = layout_.group_of(lba);
+  if (group_has_failed_member(g)) return write_page_general(lba, data, plan);
+
+  // Read-modify-write: [read old data, read parity] -> [write data, write parity].
+  const DiskAddr pa = layout_.parity_addr(g);
+  Page old_data = make_page();
+  Page parity = make_page();
+  const std::size_t read_phase = plan ? plan->next_phase() : 0;
+  if (disks_[addr.disk]->read(addr.page, old_data) != IoStatus::kOk) return IoStatus::kFailed;
+  if (disks_[pa.disk]->read(pa.page, parity) != IoStatus::kOk) return IoStatus::kFailed;
+  if (plan) {
+    plan->add(read_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
+    plan->add(read_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kRead});
+  }
+  Page delta(data.begin(), data.end());
+  xor_into(delta, old_data);
+  xor_into(parity, delta);
+
+  const std::size_t write_phase = plan ? plan->next_phase() : 0;
+  if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
+  if (disks_[pa.disk]->write(pa.page, parity) != IoStatus::kOk) return IoStatus::kFailed;
+  if (plan) {
+    plan->add(write_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
+    plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
+  }
+  if (geo.level == RaidLevel::kRaid6) {
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    Page q = make_page();
+    if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    gf256::mul_acc(q, gf256::exp(layout_.index_in_group(lba)), delta);
+    if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) {
+      plan->add(read_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kRead});
+      plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
+    }
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> data,
+                                       IoPlan* plan) {
+  // Degraded path: gather the full group (reconstructing lost members),
+  // substitute the new data, recompute parity and write what is writable.
+  const RaidGeometry& geo = layout_.geometry();
+  const GroupId g = layout_.group_of(lba);
+  const std::uint32_t dd = geo.data_disks();
+  const std::uint32_t target = layout_.index_in_group(lba);
+
+  std::vector<Page> members(dd, make_page());
+  const std::size_t read_phase = plan ? plan->next_phase() : 0;
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    if (k == target) continue;
+    const Lba member_lba = layout_.group_member(g, k);
+    const DiskAddr a = layout_.map(member_lba);
+    if (!disks_[a.disk]->failed()) {
+      if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
+    } else if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) {
+      return IoStatus::kFailed;
+    }
+  }
+  members[target].assign(data.begin(), data.end());
+
+  Page p = make_page();
+  Page q = make_page();
+  compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
+
+  const std::size_t write_phase = plan ? plan->next_phase() : 0;
+  const DiskAddr addr = layout_.map(lba);
+  if (!disks_[addr.disk]->failed()) {
+    if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
+  }
+  const DiskAddr pa = layout_.parity_addr(g);
+  if (!disks_[pa.disk]->failed()) {
+    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
+  }
+  if (geo.level == RaidLevel::kRaid6) {
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    if (!disks_[qa.disk]->failed()) {
+      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
+    }
+  }
+  // Parity was recomputed from the group's current on-disk contents.
+  stale_groups_.erase(g);
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::write_group(GroupId g, std::span<const Page> data, IoPlan* plan) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(data.size() == geo.data_disks());
+  Page p = make_page();
+  Page q = make_page();
+  if (geo.level != RaidLevel::kRaid0) {
+    compute_parity(data, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
+  }
+  const std::size_t phase = plan ? plan->next_phase() : 0;
+  for (std::uint32_t k = 0; k < data.size(); ++k) {
+    const DiskAddr a = layout_.map(layout_.group_member(g, k));
+    if (disks_[a.disk]->failed()) continue;
+    if (disks_[a.disk]->write(a.page, data[k]) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) plan->add(phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kWrite});
+  }
+  if (geo.level != RaidLevel::kRaid0) {
+    const DiskAddr pa = layout_.parity_addr(g);
+    if (!disks_[pa.disk]->failed()) {
+      if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) plan->add(phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
+    }
+    if (geo.level == RaidLevel::kRaid6) {
+      const DiskAddr qa = layout_.q_parity_addr(g);
+      if (!disks_[qa.disk]->failed()) {
+        if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+        if (plan) plan->add(phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
+      }
+    }
+  }
+  stale_groups_.erase(g);
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::write_page_nopar(Lba lba, std::span<const std::uint8_t> data,
+                                     IoPlan* plan) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  const DiskAddr addr = layout_.map(lba);
+  if (disks_[addr.disk]->failed()) {
+    // The caller must flush parity and rebuild before deferring again.
+    return IoStatus::kFailed;
+  }
+  if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
+  if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
+  stale_groups_.insert(layout_.group_of(lba));
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> deltas,
+                                      IoPlan* plan, bool finalize) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  const DiskAddr pa = layout_.parity_addr(g);
+  const std::size_t read_phase = plan ? plan->next_phase() : 0;
+  std::size_t write_phase = read_phase + 1;
+  if (!disks_[pa.disk]->failed()) {
+    Page p = make_page();
+    if (disks_[pa.disk]->read(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    for (const GroupDelta& d : deltas) xor_into(p, *d.xor_diff);
+    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) {
+      plan->add(read_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kRead});
+      plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
+    }
+  }
+  if (geo.level == RaidLevel::kRaid6) {
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    if (!disks_[qa.disk]->failed()) {
+      Page q = make_page();
+      if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      for (const GroupDelta& d : deltas) gf256::mul_acc(q, gf256::exp(d.index), *d.xor_diff);
+      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) {
+        plan->add(read_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kRead});
+        plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
+      }
+    }
+  }
+  if (finalize) stale_groups_.erase(g);
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::update_parity_reconstruct(GroupId g,
+                                              std::span<const Page* const> current_data,
+                                              IoPlan* plan) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  const std::uint32_t dd = geo.data_disks();
+  KDD_CHECK(current_data.size() == dd);
+
+  std::vector<Page> members(dd, make_page());
+  const std::size_t read_phase = plan ? plan->next_phase() : 0;
+  bool any_read = false;
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    if (current_data[k] != nullptr) {
+      members[k] = *current_data[k];
+      continue;
+    }
+    const DiskAddr a = layout_.map(layout_.group_member(g, k));
+    if (disks_[a.disk]->failed()) {
+      if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
+    } else {
+      if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
+    }
+    any_read = true;
+  }
+  Page p = make_page();
+  Page q = make_page();
+  compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
+
+  const std::size_t write_phase = plan ? (any_read ? plan->next_phase() : read_phase) : 0;
+  const DiskAddr pa = layout_.parity_addr(g);
+  if (!disks_[pa.disk]->failed()) {
+    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
+  }
+  if (geo.level == RaidLevel::kRaid6) {
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    if (!disks_[qa.disk]->failed()) {
+      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
+    }
+  }
+  stale_groups_.erase(g);
+  return IoStatus::kOk;
+}
+
+IoStatus RaidArray::resync_group(GroupId g, IoPlan* plan) {
+  std::vector<const Page*> none(layout_.geometry().data_disks(), nullptr);
+  return update_parity_reconstruct(g, none, plan);
+}
+
+std::uint64_t RaidArray::resync_all_stale() {
+  const std::vector<GroupId> groups = stale_groups();
+  for (GroupId g : groups) {
+    const IoStatus st = resync_group(g);
+    KDD_CHECK(st == IoStatus::kOk);
+  }
+  return groups.size();
+}
+
+std::vector<GroupId> RaidArray::stale_groups() const {
+  std::vector<GroupId> out(stale_groups_.begin(), stale_groups_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RaidArray::fail_disk(std::uint32_t d) {
+  KDD_CHECK(d < disks_.size());
+  disks_[d]->fail();
+}
+
+std::uint32_t RaidArray::failed_disk_count() const {
+  std::uint32_t n = 0;
+  for (const auto& d : disks_) {
+    if (d->failed()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  KDD_CHECK(d < disks_.size());
+  KDD_CHECK(disks_[d]->failed());
+  disks_[d]->replace();
+
+  std::uint64_t stale_rebuilds = 0;
+  Page buf = make_page();
+  for (GroupId g = 0; g < geo.num_groups(); ++g) {
+    const std::uint64_t row = g / geo.chunk_pages;
+    const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
+    if (layout_.parity_disk(row) == d) {
+      // Parity page: recompute from data — result reflects current data, so
+      // any pending staleness is resolved for this group.
+      std::vector<Page> members(geo.data_disks(), make_page());
+      for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+        const DiskAddr a = layout_.map(layout_.group_member(g, k));
+        if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return stale_rebuilds;
+      }
+      Page p = make_page();
+      compute_parity(members, p, nullptr);
+      disks_[d]->write(page, p);
+      stale_groups_.erase(g);
+      continue;
+    }
+    if (geo.level == RaidLevel::kRaid6 && layout_.q_parity_disk(row) == d) {
+      std::vector<Page> members(geo.data_disks(), make_page());
+      for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+        const DiskAddr a = layout_.map(layout_.group_member(g, k));
+        if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return stale_rebuilds;
+      }
+      Page p = make_page();
+      Page q = make_page();
+      compute_parity(members, p, &q);
+      disks_[d]->write(page, q);
+      continue;
+    }
+    // Data page: reconstruct from parity. If the group's parity is stale the
+    // reconstructed contents are wrong — this is the vulnerability window the
+    // paper describes; callers (KDD) flush parity before rebuilding.
+    std::uint32_t idx = 0;
+    bool found = false;
+    for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+      if (layout_.data_disk(row, k) == d) {
+        idx = k;
+        found = true;
+        break;
+      }
+    }
+    KDD_CHECK(found);
+    if (stale_groups_.contains(g)) ++stale_rebuilds;
+    // Temporarily treat the new disk as the write target; reconstruct from
+    // the *other* devices (the blank page on the fresh disk must not be read).
+    const RaidGeometry& geo2 = layout_.geometry();
+    Page p_prime = make_page();
+    for (std::uint32_t k = 0; k < geo2.data_disks(); ++k) {
+      if (k == idx) continue;
+      const DiskAddr a = layout_.map(layout_.group_member(g, k));
+      if (disks_[a.disk]->read(a.page, buf) != IoStatus::kOk) return stale_rebuilds;
+      xor_into(p_prime, buf);
+    }
+    const DiskAddr pa = layout_.parity_addr(g);
+    if (disks_[pa.disk]->read(pa.page, buf) != IoStatus::kOk) return stale_rebuilds;
+    xor_into(p_prime, buf);
+    disks_[d]->write(page, p_prime);
+  }
+  return stale_rebuilds;
+}
+
+std::vector<GroupId> RaidArray::scrub() const {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  KDD_CHECK(failed_disk_count() == 0);
+  std::vector<GroupId> bad;
+  for (GroupId g = 0; g < geo.num_groups(); ++g) {
+    Page p = make_page();
+    Page q = make_page();
+    for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+      const DiskAddr a = layout_.map(layout_.group_member(g, k));
+      const auto raw = disks_[a.disk]->raw_page(a.page);
+      xor_into(p, raw);
+      if (geo.level == RaidLevel::kRaid6) gf256::mul_acc(q, gf256::exp(k), raw);
+    }
+    const DiskAddr pa = layout_.parity_addr(g);
+    bool ok = std::equal(p.begin(), p.end(), disks_[pa.disk]->raw_page(pa.page).begin());
+    if (ok && geo.level == RaidLevel::kRaid6) {
+      const DiskAddr qa = layout_.q_parity_addr(g);
+      ok = std::equal(q.begin(), q.end(), disks_[qa.disk]->raw_page(qa.page).begin());
+    }
+    if (!ok) bad.push_back(g);
+  }
+  return bad;
+}
+
+std::uint64_t RaidArray::scrub_and_repair() {
+  const std::vector<GroupId> bad = scrub();
+  for (const GroupId g : bad) {
+    const IoStatus st = resync_group(g);
+    KDD_CHECK(st == IoStatus::kOk);
+  }
+  return bad.size();
+}
+
+std::uint64_t RaidArray::total_disk_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& d : disks_) n += d->counters().reads;
+  return n;
+}
+
+std::uint64_t RaidArray::total_disk_writes() const {
+  std::uint64_t n = 0;
+  for (const auto& d : disks_) n += d->counters().writes;
+  return n;
+}
+
+void RaidArray::reset_counters() {
+  for (auto& d : disks_) d->reset_counters();
+}
+
+}  // namespace kdd

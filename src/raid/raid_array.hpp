@@ -1,0 +1,135 @@
+// RAID array engine: RAID-0/5/6 over memory-backed disks with real data and
+// real parity. Implements the conventional write paths (read-modify-write,
+// reconstruct-write, full-stripe write), degraded reads, disk rebuild and
+// resynchronisation — plus the two extension interfaces KDD adds
+// (Section III-A): write-without-parity-update and parity-update.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "blockdev/mem_device.hpp"
+#include "common/bytes.hpp"
+#include "raid/io_plan.hpp"
+#include "raid/layout.hpp"
+
+namespace kdd {
+
+/// (data index within group, XOR of old and new contents of that member).
+struct GroupDelta {
+  std::uint32_t index;
+  const Page* xor_diff;
+};
+
+class RaidArray {
+ public:
+  explicit RaidArray(const RaidGeometry& geo);
+
+  const RaidLayout& layout() const { return layout_; }
+  const RaidGeometry& geometry() const { return layout_.geometry(); }
+  std::uint64_t data_pages() const { return layout_.geometry().data_pages(); }
+
+  // ---- Normal I/O path -----------------------------------------------------
+
+  /// Reads one logical page; reconstructs from peers when its disk is down.
+  IoStatus read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan = nullptr);
+
+  /// Writes one logical page with full parity maintenance (RMW; degraded-safe).
+  IoStatus write_page(Lba lba, std::span<const std::uint8_t> data,
+                      IoPlan* plan = nullptr);
+
+  /// Full-stripe write: caller supplies all data members of group `g`;
+  /// parity is computed without any read.
+  IoStatus write_group(GroupId g, std::span<const Page> data, IoPlan* plan = nullptr);
+
+  // ---- KDD extension interfaces (Section III-A) ----------------------------
+
+  /// Writes only the data page and marks the parity group stale. The caller
+  /// (the cache) guarantees it can regenerate parity later from its deltas.
+  IoStatus write_page_nopar(Lba lba, std::span<const std::uint8_t> data,
+                            IoPlan* plan = nullptr);
+
+  /// RMW-style deferred parity update: reads the stale parity, folds in the
+  /// caller's accumulated XOR deltas and writes parity back. With
+  /// finalize == true the group's staleness is cleared (all pending deltas
+  /// were supplied); finalize == false applies a partial fix and keeps the
+  /// group marked stale.
+  IoStatus update_parity_rmw(GroupId g, std::span<const GroupDelta> deltas,
+                             IoPlan* plan = nullptr, bool finalize = true);
+
+  /// Reconstruct-write-style parity update: the caller supplies the *current*
+  /// contents of every data member (entries may be nullptr, in which case
+  /// that member is read from disk); parity is recomputed from scratch.
+  IoStatus update_parity_reconstruct(GroupId g,
+                                     std::span<const Page* const> current_data,
+                                     IoPlan* plan = nullptr);
+
+  /// Recomputes parity of `g` by reading all data members (used for resync
+  /// after SSD failure). Equivalent to update_parity_reconstruct with no
+  /// caller-supplied data.
+  IoStatus resync_group(GroupId g, IoPlan* plan = nullptr);
+
+  /// Resyncs every stale group. Returns the number of groups resynced.
+  std::uint64_t resync_all_stale();
+
+  // ---- Stale-parity tracking ------------------------------------------------
+
+  bool group_stale(GroupId g) const { return stale_groups_.contains(g); }
+  std::uint64_t stale_group_count() const { return stale_groups_.size(); }
+  std::vector<GroupId> stale_groups() const;
+
+  // ---- Failure handling ------------------------------------------------------
+
+  void fail_disk(std::uint32_t disk);
+  bool disk_failed(std::uint32_t disk) const { return disks_[disk]->failed(); }
+  std::uint32_t failed_disk_count() const;
+
+  /// Replaces the failed disk with a blank one and reconstructs its contents
+  /// from the surviving disks. Returns the number of parity groups whose
+  /// contents were rebuilt from *stale* parity (i.e. potentially corrupted —
+  /// the vulnerability window the paper describes; KDD flushes parity before
+  /// triggering rebuild precisely to keep this zero).
+  std::uint64_t rebuild_disk(std::uint32_t disk);
+
+  // ---- Verification ----------------------------------------------------------
+
+  /// Checks parity of every group (bypassing counters); returns the ids of
+  /// inconsistent groups. With no deferred updates pending this must be empty;
+  /// with deferred updates it must equal the stale set.
+  std::vector<GroupId> scrub() const;
+
+  /// Scrubs and repairs: recomputes parity for every inconsistent group
+  /// (treating the data as authoritative). Returns the number repaired.
+  std::uint64_t scrub_and_repair();
+
+  MemBlockDevice& disk(std::uint32_t i) { return *disks_[i]; }
+  const MemBlockDevice& disk(std::uint32_t i) const { return *disks_[i]; }
+
+  /// Aggregate disk I/O counters (pages).
+  std::uint64_t total_disk_reads() const;
+  std::uint64_t total_disk_writes() const;
+  void reset_counters();
+
+ private:
+  IoStatus read_member(GroupId g, std::uint32_t idx, std::span<std::uint8_t> out,
+                       IoPlan* plan, std::size_t phase);
+  /// Reads a physical page from `addr`, reconstructing if the disk is down.
+  IoStatus read_physical(DiskAddr addr, std::span<std::uint8_t> out);
+  /// Reconstructs the contents of the (lost) page at data index `idx` /
+  /// parity of group `g` from the surviving devices.
+  IoStatus reconstruct_data(GroupId g, std::uint32_t idx, std::span<std::uint8_t> out);
+  /// Degraded / general write: reads the whole group (reconstructing lost
+  /// members), applies the update, rewrites parity and the data page.
+  IoStatus write_page_general(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan);
+  void compute_parity(std::span<const Page> data, Page& p, Page* q) const;
+  bool group_has_failed_member(GroupId g) const;
+
+  RaidLayout layout_;
+  std::vector<std::unique_ptr<MemBlockDevice>> disks_;
+  std::unordered_set<GroupId> stale_groups_;
+};
+
+}  // namespace kdd

@@ -1,0 +1,144 @@
+#include "trace/analysis.hpp"
+
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+namespace {
+
+/// Fenwick tree over access slots; counts "still most-recent" accesses so a
+/// prefix sum between two timestamps yields the stack distance exactly.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t i, std::int64_t delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  std::int64_t prefix(std::size_t i) const {  // sum of [0, i)
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+std::size_t distance_bucket(std::uint64_t distance) {
+  return static_cast<std::size_t>(std::bit_width(distance + 1)) - 1;
+}
+
+}  // namespace
+
+double ReuseProfile::lru_hit_ratio(std::uint64_t pages) const {
+  if (total_accesses == 0) return 0.0;
+  std::uint64_t hits = 0;
+  for (std::size_t k = 0; k < distance_histogram.size(); ++k) {
+    const std::uint64_t bucket_lo = (1ull << k) - 1;
+    const std::uint64_t bucket_hi = (1ull << (k + 1)) - 2;  // inclusive
+    if (bucket_hi < pages) {
+      hits += distance_histogram[k];
+    } else if (bucket_lo < pages) {
+      // Partial bucket: assume uniform spread inside the bucket.
+      const double frac = static_cast<double>(pages - bucket_lo) /
+                          static_cast<double>(bucket_hi - bucket_lo + 1);
+      hits += static_cast<std::uint64_t>(
+          frac * static_cast<double>(distance_histogram[k]));
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_accesses);
+}
+
+ReuseProfile compute_reuse_profile(const Trace& trace, bool writes_only) {
+  // Count page-granular accesses first to size the slot array.
+  std::size_t slots = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (writes_only && r.is_read) continue;
+    slots += r.pages;
+  }
+  ReuseProfile profile;
+  Fenwick fen(slots);
+  std::unordered_map<Lba, std::size_t> last_slot;
+  last_slot.reserve(slots / 4 + 16);
+
+  std::size_t now = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (writes_only && r.is_read) continue;
+    for (std::uint32_t i = 0; i < r.pages; ++i) {
+      const Lba page = r.page + i;
+      ++profile.total_accesses;
+      const auto it = last_slot.find(page);
+      if (it == last_slot.end()) {
+        ++profile.cold_accesses;
+      } else {
+        // Stack distance = number of distinct pages touched since the last
+        // access = count of "most recent" markers after that slot.
+        const auto distance = static_cast<std::uint64_t>(
+            fen.prefix(now) - fen.prefix(it->second + 1));
+        const std::size_t bucket = distance_bucket(distance);
+        if (profile.distance_histogram.size() <= bucket) {
+          profile.distance_histogram.resize(bucket + 1, 0);
+        }
+        ++profile.distance_histogram[bucket];
+        fen.add(it->second, -1);  // the old position is no longer most-recent
+      }
+      fen.add(now, +1);
+      last_slot[page] = now;
+      ++now;
+    }
+  }
+  return profile;
+}
+
+SequentialityProfile compute_sequentiality(const Trace& trace) {
+  SequentialityProfile p;
+  if (trace.records.empty()) return p;
+  std::uint64_t sequential = 0;
+  std::uint64_t pages = 0;
+  Lba prev_end = kInvalidLba;
+  for (const TraceRecord& r : trace.records) {
+    if (r.page == prev_end) ++sequential;
+    prev_end = r.page + r.pages;
+    pages += r.pages;
+  }
+  p.sequential_fraction =
+      static_cast<double>(sequential) / static_cast<double>(trace.records.size());
+  p.mean_request_pages =
+      static_cast<double>(pages) / static_cast<double>(trace.records.size());
+  return p;
+}
+
+std::vector<WorkingSetPoint> compute_working_set_profile(const Trace& trace,
+                                                         SimTime window_us) {
+  KDD_CHECK(window_us > 0);
+  std::vector<WorkingSetPoint> out;
+  if (trace.records.empty()) return out;
+  std::unordered_set<Lba> seen;
+  WorkingSetPoint current;
+  current.window_start_us = trace.records.front().time_us / window_us * window_us;
+  for (const TraceRecord& r : trace.records) {
+    const SimTime window_start = r.time_us / window_us * window_us;
+    if (window_start != current.window_start_us) {
+      current.distinct_pages = seen.size();
+      out.push_back(current);
+      seen.clear();
+      current = WorkingSetPoint{};
+      current.window_start_us = window_start;
+    }
+    ++current.requests;
+    for (std::uint32_t i = 0; i < r.pages; ++i) seen.insert(r.page + i);
+  }
+  current.distinct_pages = seen.size();
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace kdd

@@ -1,0 +1,51 @@
+// Trace analysis: the locality metrics cache studies live on.
+//
+//  * Reuse (stack) distance histogram — the number of *distinct* pages
+//    touched between consecutive accesses to the same page. An LRU cache of
+//    C pages hits exactly the accesses with distance < C, so the CDF of this
+//    histogram is the LRU hit-ratio curve — computed exactly in
+//    O(N log N) with a Fenwick tree over access timestamps.
+//  * Sequentiality — fraction of requests continuing the previous one.
+//  * Working-set profile — distinct pages per fixed-duration window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace kdd {
+
+struct ReuseProfile {
+  /// histogram[k] = number of accesses with stack distance in
+  /// [2^k - 1, 2^(k+1) - 1) (bucket 0 = immediate re-reference).
+  std::vector<std::uint64_t> distance_histogram;
+  std::uint64_t cold_accesses = 0;   ///< first-ever touches (infinite distance)
+  std::uint64_t total_accesses = 0;  ///< page-granular accesses
+
+  /// Expected LRU hit ratio for a fully-associative cache of `pages` pages.
+  double lru_hit_ratio(std::uint64_t pages) const;
+};
+
+/// Exact stack-distance analysis over every page-granular access.
+/// `writes_only` restricts the stream to writes (useful for sizing the DEZ).
+ReuseProfile compute_reuse_profile(const Trace& trace, bool writes_only = false);
+
+struct SequentialityProfile {
+  double sequential_fraction = 0.0;  ///< requests starting where the previous ended
+  double mean_request_pages = 0.0;
+};
+
+SequentialityProfile compute_sequentiality(const Trace& trace);
+
+struct WorkingSetPoint {
+  SimTime window_start_us = 0;
+  std::uint64_t distinct_pages = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Distinct pages touched in each `window_us` slice of the trace.
+std::vector<WorkingSetPoint> compute_working_set_profile(const Trace& trace,
+                                                         SimTime window_us);
+
+}  // namespace kdd

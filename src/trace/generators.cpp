@@ -1,0 +1,300 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace kdd {
+
+namespace {
+
+/// Affine bijection over [0, m): x -> (a*x + b) mod m with gcd(a, m) == 1.
+/// Scatters Zipf ranks across the region so hot pages are not clustered.
+class AffinePermutation {
+ public:
+  AffinePermutation(std::uint64_t m, std::uint64_t seed) : m_(m) {
+    KDD_CHECK(m_ > 0);
+    Rng rng(seed);
+    b_ = rng.next_below(m_);
+    a_ = rng.next_below(m_) | 1;  // odd helps, but verify coprimality anyway
+    while (std::gcd(a_, m_) != 1) a_ = (a_ + 2) % m_ | 1;
+    if (a_ == 0) a_ = 1;
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(a_) * x + b_) % m_);
+  }
+
+ private:
+  std::uint64_t m_;
+  std::uint64_t a_ = 1;
+  std::uint64_t b_ = 0;
+};
+
+/// One direction (read or write) of the generator: guarantees every page of
+/// its region is touched at least once (a sequential "coverage" sub-stream,
+/// which also provides spatial locality) and draws the remaining requests
+/// from a scattered Zipf distribution. Unique page counts therefore match
+/// the configured region sizes *exactly*.
+class StreamState {
+ public:
+  /// `shared_pages` is the size of the region this stream shares with its
+  /// sibling (reads/writes of the same blocks). The hottest `shared_pages`
+  /// Zipf ranks of BOTH streams map into that region through the SAME
+  /// permutation (seeded by `shared_seed`), so hot read pages and hot write
+  /// pages coincide — the content-locality structure real OLTP traces have
+  /// and the mechanism behind the paper's Fig. 7/8 crossovers.
+  StreamState(std::uint64_t region_pages, std::uint64_t shared_pages,
+              std::uint64_t requests, double alpha, std::uint64_t seed,
+              std::uint64_t shared_seed)
+      : region_(region_pages),
+        shared_(shared_pages),
+        requests_left_(requests),
+        zipf_(std::max<std::uint64_t>(region_pages, 1), alpha),
+        perm_shared_(std::max<std::uint64_t>(shared_pages, 1),
+                     shared_seed ^ 0x5eed5eedull),
+        perm_private_(std::max<std::uint64_t>(region_pages - shared_pages, 1),
+                      seed ^ 0xabcdef12345ull) {
+    KDD_CHECK(shared_pages <= region_pages);
+    KDD_CHECK(requests >= coverage_requests_needed());
+  }
+
+  std::uint64_t requests_left() const { return requests_left_; }
+
+  /// True if one request of budget can be spent without endangering the
+  /// coverage guarantee (used by sequential continuations, which bypass the
+  /// coverage/Zipf draw).
+  bool can_skip_draw() const { return requests_left_ > coverage_requests_needed(); }
+  void consume_budget() {
+    KDD_CHECK(can_skip_draw());
+    --requests_left_;
+  }
+
+  /// Emits the next request for this stream: region-relative page + length.
+  /// `max_len` limits multi-page requests.
+  std::pair<std::uint64_t, std::uint32_t> next(Rng& rng, bool want_multi) {
+    KDD_CHECK(requests_left_ > 0);
+    --requests_left_;
+    // Interleave coverage with Zipf traffic in proportion to what remains,
+    // so cold pages keep arriving throughout the trace.
+    const std::uint64_t cov_left = coverage_requests_needed();
+    const bool do_coverage =
+        cov_left > 0 &&
+        (cov_left >= requests_left_ + 1 ||
+         rng.next_double() <
+             static_cast<double>(cov_left) / static_cast<double>(requests_left_ + 1));
+    if (do_coverage) {
+      const std::uint64_t start = coverage_pos_;
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kCoverageRun, region_ - coverage_pos_));
+      coverage_pos_ += len;
+      return {start, len};
+    }
+    std::uint32_t len = 1;
+    if (want_multi) len = 1u << rng.next_below(4);  // 1,2,4,8 pages
+    const std::uint64_t rank = zipf_.sample(rng);
+    // Hottest ranks live in the shared region (common permutation); colder
+    // ranks scatter over the stream-private remainder.
+    std::uint64_t page = rank < shared_
+                             ? perm_shared_(rank)
+                             : shared_ + perm_private_(rank - shared_);
+    if (page + len > region_) page = region_ - len;
+    return {page, len};
+  }
+
+ private:
+  static constexpr std::uint64_t kCoverageRun = 8;
+
+  std::uint64_t coverage_requests_needed() const {
+    const std::uint64_t remaining = region_ - coverage_pos_;
+    return (remaining + kCoverageRun - 1) / kCoverageRun;
+  }
+
+  std::uint64_t region_;
+  std::uint64_t shared_;
+  std::uint64_t requests_left_;
+  std::uint64_t coverage_pos_ = 0;
+  ZipfSampler zipf_;
+  AffinePermutation perm_shared_;
+  AffinePermutation perm_private_;
+};
+
+}  // namespace
+
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config) {
+  KDD_CHECK(config.shared_unique_pages <= config.read_unique_pages);
+  KDD_CHECK(config.shared_unique_pages <= config.write_unique_pages);
+  KDD_CHECK(config.read_requests > 0 || config.write_requests > 0);
+
+  Rng rng(config.seed);
+  // Physical address layout: [shared | read-only | write-only].
+  // Read stream region  = [0, read_unique), identity-mapped.
+  // Write stream region = [0, write_unique) with the non-shared part shifted
+  // past the read-only range.
+  const std::uint64_t shared = config.shared_unique_pages;
+  const std::uint64_t read_only = config.read_unique_pages - shared;
+  const std::uint64_t write_shift = read_only;  // applied to write pages >= shared
+
+  StreamState reads(config.read_unique_pages, shared, config.read_requests,
+                    config.zipf_alpha_read, config.seed * 2 + 1, config.seed);
+  StreamState writes(config.write_unique_pages, shared, config.write_requests,
+                     config.zipf_alpha_write, config.seed * 2 + 2, config.seed);
+
+  Trace trace;
+  trace.name = config.name;
+  trace.records.reserve(config.read_requests + config.write_requests);
+
+  const std::uint64_t total = config.read_requests + config.write_requests;
+  const double mean_gap =
+      static_cast<double>(config.duration_us) / static_cast<double>(total);
+  double now = 0.0;
+
+  std::uint64_t prev_end = kInvalidLba;
+  bool prev_is_read = true;
+
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint64_t r_left = reads.requests_left();
+    const std::uint64_t w_left = writes.requests_left();
+    const bool is_read =
+        w_left == 0 ||
+        (r_left > 0 && rng.next_double() < static_cast<double>(r_left) /
+                                               static_cast<double>(r_left + w_left));
+
+    TraceRecord rec;
+    rec.is_read = is_read;
+    const bool want_multi = rng.next_double() < config.multi_page_prob;
+
+    // Sequential continuation keeps the previous run going (same direction,
+    // still inside the stream's region).
+    const std::uint64_t region =
+        is_read ? config.read_unique_pages : config.write_unique_pages;
+    StreamState& stream = is_read ? reads : writes;
+    if (prev_end != kInvalidLba && prev_is_read == is_read &&
+        prev_end + 8 <= region && stream.can_skip_draw() &&
+        rng.next_double() < config.sequential_prob) {
+      rec.pages = want_multi ? (1u << rng.next_below(4)) : 1;
+      // prev_end is region-relative for this stream (see below).
+      const std::uint64_t rel = prev_end;
+      prev_end = rel + rec.pages;
+      rec.page = rel;
+      stream.consume_budget();
+    } else {
+      auto [rel, len] = stream.next(rng, want_multi);
+      rec.page = rel;
+      rec.pages = len;
+      prev_end = rel + len;
+    }
+    prev_is_read = is_read;
+
+    // Map region-relative to physical.
+    if (!is_read && rec.page >= shared) rec.page += write_shift;
+
+    // Poisson arrivals with occasional bursts.
+    const double u = rng.next_double();
+    double gap = -mean_gap * std::log(u <= 1e-12 ? 1e-12 : u);
+    if (rng.next_double() < 0.15) gap *= 0.05;  // burst
+    now += gap;
+    rec.time_us = static_cast<SimTime>(now);
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
+namespace {
+
+std::uint64_t scaled(double v, double scale) {
+  return static_cast<std::uint64_t>(v * scale + 0.5);
+}
+
+}  // namespace
+
+SyntheticTraceConfig fin1_config(double scale) {
+  SyntheticTraceConfig c;
+  c.name = "Fin1";
+  c.read_unique_pages = scaled(331e3, scale);
+  c.write_unique_pages = scaled(966e3, scale);
+  c.shared_unique_pages = scaled(304e3, scale);  // 331 + 966 - 993 total
+  c.read_requests = scaled(1339e3, scale);
+  c.write_requests = scaled(5628e3, scale);
+  c.zipf_alpha_read = 1.15;
+  c.zipf_alpha_write = 1.2;
+  c.sequential_prob = 0.05;
+  c.multi_page_prob = 0.15;
+  c.duration_us = 12ull * 3600 * kUsPerSec;
+  return c;
+}
+
+SyntheticTraceConfig fin2_config(double scale) {
+  SyntheticTraceConfig c;
+  c.name = "Fin2";
+  c.read_unique_pages = scaled(271e3, scale);
+  c.write_unique_pages = scaled(212e3, scale);
+  c.shared_unique_pages = scaled(78e3, scale);  // 271 + 212 - 405 total
+  c.read_requests = scaled(3562e3, scale);
+  c.write_requests = scaled(917e3, scale);
+  c.zipf_alpha_read = 1.15;
+  c.zipf_alpha_write = 1.2;
+  c.sequential_prob = 0.05;
+  c.multi_page_prob = 0.15;
+  c.duration_us = 12ull * 3600 * kUsPerSec;
+  return c;
+}
+
+SyntheticTraceConfig hm0_config(double scale) {
+  SyntheticTraceConfig c;
+  c.name = "Hm0";
+  c.read_unique_pages = scaled(488e3, scale);
+  c.write_unique_pages = scaled(428e3, scale);
+  c.shared_unique_pages = scaled(307e3, scale);  // 488 + 428 - 609 total
+  c.read_requests = scaled(2880e3, scale);
+  c.write_requests = scaled(5992e3, scale);
+  c.zipf_alpha_read = 0.95;
+  c.zipf_alpha_write = 1.15;
+  c.sequential_prob = 0.15;
+  c.multi_page_prob = 0.35;
+  c.duration_us = 24ull * 3600 * kUsPerSec;
+  return c;
+}
+
+SyntheticTraceConfig web0_config(double scale) {
+  SyntheticTraceConfig c;
+  c.name = "Web0";
+  c.read_unique_pages = scaled(1884e3, scale);
+  c.write_unique_pages = scaled(182e3, scale);
+  c.shared_unique_pages = scaled(153e3, scale);  // 1884 + 182 - 1913 total
+  c.read_requests = scaled(4575e3, scale);
+  c.write_requests = scaled(3186e3, scale);
+  // The paper's Fig. 7 discussion: Web0's write stream has much higher
+  // temporal locality than its read stream (3.2 M writes over 182 K pages
+  // vs 4.6 M reads over 1.9 M pages).
+  c.zipf_alpha_read = 0.55;
+  c.zipf_alpha_write = 1.3;
+  c.sequential_prob = 0.2;
+  c.multi_page_prob = 0.35;
+  c.duration_us = 24ull * 3600 * kUsPerSec;
+  return c;
+}
+
+Trace generate_preset(const std::string& name, double scale, std::uint64_t seed) {
+  SyntheticTraceConfig c;
+  if (name == "Fin1") {
+    c = fin1_config(scale);
+  } else if (name == "Fin2") {
+    c = fin2_config(scale);
+  } else if (name == "Hm0") {
+    c = hm0_config(scale);
+  } else if (name == "Web0") {
+    c = web0_config(scale);
+  } else {
+    throw std::invalid_argument("unknown trace preset: " + name);
+  }
+  c.seed = seed;
+  return generate_synthetic_trace(c);
+}
+
+}  // namespace kdd

@@ -1,0 +1,56 @@
+// Synthetic workload generators calibrated to the paper's Table I.
+//
+// The original evaluation uses the SPC financial traces (Fin1/Fin2) and the
+// MSR-Cambridge volumes Hm0/Web0, none of which can be redistributed here.
+// These generators reproduce the characteristics the figures depend on:
+//  * unique pages touched (total / by reads / by writes) and their overlap,
+//  * read and write request counts (hence read ratio),
+//  * popularity skew (so hit ratios respond to cache size like the paper's),
+//  * spatial locality (multi-page requests, sequential runs),
+//  * arrival pattern over a nominal duration for open-loop replay.
+// Table I figures are matched to within a few percent; `scale` shrinks both
+// request counts and footprints proportionally for faster experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace kdd {
+
+struct SyntheticTraceConfig {
+  std::string name;
+  std::uint64_t read_unique_pages = 0;   ///< pages touched by >= 1 read
+  std::uint64_t write_unique_pages = 0;  ///< pages touched by >= 1 write
+  std::uint64_t shared_unique_pages = 0; ///< pages touched by both
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  double zipf_alpha_read = 0.9;   ///< popularity skew of the read stream
+  double zipf_alpha_write = 0.9;  ///< popularity skew of the write stream
+  double sequential_prob = 0.1;  ///< chance a request continues the previous one
+  double multi_page_prob = 0.3;  ///< chance of a 2..8-page request
+  SimTime duration_us = 12ull * 3600 * kUsPerSec;
+  std::uint64_t seed = 42;
+
+  std::uint64_t unique_total() const {
+    return read_unique_pages + write_unique_pages - shared_unique_pages;
+  }
+};
+
+/// Generates a trace matching `config`, time-sorted.
+Trace generate_synthetic_trace(const SyntheticTraceConfig& config);
+
+/// Presets calibrated to Table I. `scale` in (0, 1] scales request counts and
+/// unique-page footprints together (1.0 = full paper size).
+SyntheticTraceConfig fin1_config(double scale = 1.0);  ///< OLTP, write-dominant
+SyntheticTraceConfig fin2_config(double scale = 1.0);  ///< OLTP, read-dominant
+SyntheticTraceConfig hm0_config(double scale = 1.0);   ///< MCS hm/0, write-dominant
+SyntheticTraceConfig web0_config(double scale = 1.0);  ///< MCS web/0, read-dominant,
+                                                       ///< write set much hotter than read set
+
+/// Convenience: generate one of the four presets by name ("Fin1", ...).
+Trace generate_preset(const std::string& name, double scale, std::uint64_t seed = 42);
+
+}  // namespace kdd

@@ -1,0 +1,56 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  // 2-bit state per page: bit0 = read, bit1 = written.
+  std::unordered_map<Lba, std::uint8_t> touched;
+  touched.reserve(trace.records.size() / 4 + 16);
+  for (const TraceRecord& r : trace.records) {
+    if (r.is_read) {
+      ++s.read_requests;
+    } else {
+      ++s.write_requests;
+    }
+    for (std::uint32_t i = 0; i < r.pages; ++i) {
+      const Lba p = r.page + i;
+      s.max_page = std::max(s.max_page, p);
+      touched[p] |= r.is_read ? 1 : 2;
+    }
+  }
+  s.unique_pages_total = touched.size();
+  for (const auto& [page, bits] : touched) {
+    (void)page;
+    if (bits & 1) ++s.unique_pages_read;
+    if (bits & 2) ++s.unique_pages_written;
+  }
+  return s;
+}
+
+void rescale_duration(Trace& trace, SimTime target_duration_us) {
+  if (trace.records.empty()) return;
+  const SimTime t0 = trace.records.front().time_us;
+  const SimTime span = trace.records.back().time_us - t0;
+  if (span == 0) {
+    // Degenerate: spread requests evenly.
+    const double step = static_cast<double>(target_duration_us) /
+                        static_cast<double>(trace.records.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+      trace.records[i].time_us = static_cast<SimTime>(step * static_cast<double>(i));
+    }
+    return;
+  }
+  for (TraceRecord& r : trace.records) {
+    const double frac =
+        static_cast<double>(r.time_us - t0) / static_cast<double>(span);
+    r.time_us = static_cast<SimTime>(frac * static_cast<double>(target_duration_us));
+  }
+}
+
+}  // namespace kdd

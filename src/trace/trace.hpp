@@ -1,0 +1,51 @@
+// Canonical block-level trace representation plus the statistics the paper's
+// Table I reports (unique pages touched, request counts, read ratio).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kdd {
+
+struct TraceRecord {
+  SimTime time_us = 0;
+  Lba page = 0;           ///< first page touched (4 KiB granularity)
+  std::uint32_t pages = 1;
+  bool is_read = true;
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceRecord> records;
+
+  SimTime duration_us() const {
+    return records.empty() ? 0 : records.back().time_us - records.front().time_us;
+  }
+};
+
+/// Table I-style characteristics.
+struct TraceStats {
+  std::uint64_t unique_pages_total = 0;
+  std::uint64_t unique_pages_read = 0;
+  std::uint64_t unique_pages_written = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  Lba max_page = 0;  ///< highest page touched (footprint upper bound)
+
+  double read_ratio() const {
+    const std::uint64_t total = read_requests + write_requests;
+    return total ? static_cast<double>(read_requests) / static_cast<double>(total) : 0.0;
+  }
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+/// Remaps request timestamps to span `target_duration_us`, preserving the
+/// relative arrival pattern (used to replay a long trace in a shorter
+/// open-loop experiment, Section IV-B2).
+void rescale_duration(Trace& trace, SimTime target_duration_us);
+
+}  // namespace kdd

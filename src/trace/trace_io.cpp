@@ -1,0 +1,143 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+namespace {
+
+constexpr std::uint64_t kSectorsPerPage = kPageSize / 512;
+
+/// Splits a CSV line into at most `max_fields` fields (in place, no copies).
+std::size_t split_csv(char* line, char** fields, std::size_t max_fields) {
+  std::size_t n = 0;
+  char* p = line;
+  while (n < max_fields && p) {
+    fields[n++] = p;
+    char* comma = std::strchr(p, ',');
+    if (comma) {
+      *comma = '\0';
+      p = comma + 1;
+    } else {
+      p = nullptr;
+    }
+  }
+  return n;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return f;
+}
+
+}  // namespace
+
+Trace read_spc_trace(const std::string& path, const std::string& name) {
+  FilePtr f = open_or_throw(path, "r");
+  Trace trace;
+  trace.name = name;
+  char line[512];
+  char* fields[8];
+  while (std::fgets(line, sizeof line, f.get())) {
+    if (split_csv(line, fields, 8) < 5) continue;
+    char* end = nullptr;
+    const std::uint64_t sector = std::strtoull(fields[1], &end, 10);
+    const std::uint64_t bytes = std::strtoull(fields[2], &end, 10);
+    const char op = fields[3][0];
+    const double ts_sec = std::strtod(fields[4], &end);
+    if (bytes == 0) continue;
+    if (op != 'r' && op != 'R' && op != 'w' && op != 'W') continue;
+    TraceRecord r;
+    r.time_us = static_cast<SimTime>(ts_sec * 1e6);
+    r.page = sector / kSectorsPerPage;
+    const std::uint64_t end_sector = sector + (bytes + 511) / 512;
+    const std::uint64_t end_page = (end_sector + kSectorsPerPage - 1) / kSectorsPerPage;
+    r.pages = static_cast<std::uint32_t>(end_page - r.page);
+    if (r.pages == 0) r.pages = 1;
+    r.is_read = op == 'r' || op == 'R';
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+Trace read_msr_trace(const std::string& path, const std::string& name) {
+  FilePtr f = open_or_throw(path, "r");
+  Trace trace;
+  trace.name = name;
+  char line[512];
+  char* fields[8];
+  SimTime first_ts = 0;
+  bool have_first = false;
+  while (std::fgets(line, sizeof line, f.get())) {
+    if (split_csv(line, fields, 8) < 6) continue;
+    char* end = nullptr;
+    const std::uint64_t ticks = std::strtoull(fields[0], &end, 10);  // 100 ns units
+    const char* type = fields[3];
+    const std::uint64_t offset = std::strtoull(fields[4], &end, 10);
+    const std::uint64_t bytes = std::strtoull(fields[5], &end, 10);
+    if (bytes == 0) continue;
+    const bool is_read = type[0] == 'R' || type[0] == 'r';
+    const bool is_write = type[0] == 'W' || type[0] == 'w';
+    if (!is_read && !is_write) continue;
+    const SimTime ts = ticks / 10;  // 100 ns -> us
+    if (!have_first) {
+      first_ts = ts;
+      have_first = true;
+    }
+    TraceRecord r;
+    r.time_us = ts - first_ts;
+    r.page = offset / kPageSize;
+    const std::uint64_t end_page = (offset + bytes + kPageSize - 1) / kPageSize;
+    r.pages = static_cast<std::uint32_t>(end_page - r.page);
+    if (r.pages == 0) r.pages = 1;
+    r.is_read = is_read;
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+void write_canonical_trace(const Trace& trace, const std::string& path) {
+  FilePtr f = open_or_throw(path, "w");
+  for (const TraceRecord& r : trace.records) {
+    std::fprintf(f.get(), "%llu,%llu,%u,%c\n",
+                 static_cast<unsigned long long>(r.time_us),
+                 static_cast<unsigned long long>(r.page), r.pages,
+                 r.is_read ? 'R' : 'W');
+  }
+}
+
+Trace read_canonical_trace(const std::string& path, const std::string& name) {
+  FilePtr f = open_or_throw(path, "r");
+  Trace trace;
+  trace.name = name;
+  char line[256];
+  char* fields[4];
+  while (std::fgets(line, sizeof line, f.get())) {
+    if (split_csv(line, fields, 4) < 4) continue;
+    char* end = nullptr;
+    TraceRecord r;
+    r.time_us = std::strtoull(fields[0], &end, 10);
+    r.page = std::strtoull(fields[1], &end, 10);
+    r.pages = static_cast<std::uint32_t>(std::strtoul(fields[2], &end, 10));
+    r.is_read = fields[3][0] == 'R';
+    if (r.pages == 0) continue;
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace kdd

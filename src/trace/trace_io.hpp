@@ -1,0 +1,32 @@
+// Trace file readers/writers.
+//
+// Two on-disk formats are supported so that users with access to the original
+// trace sets can feed them in directly:
+//  * SPC format (the UMass/Storage Performance Council financial traces):
+//    "ASU,LBA,Size,Opcode,Timestamp" — LBA in 512 B sectors, size in bytes,
+//    opcode r/R/w/W, timestamp in seconds.
+//  * MSR-Cambridge format: "Timestamp,Hostname,DiskNumber,Type,Offset,Size,
+//    ResponseTime" — timestamp in 100 ns Windows ticks, offset/size in bytes.
+// Both are converted to 4 KiB-page TraceRecords.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace kdd {
+
+/// Parses SPC-format CSV. Throws std::runtime_error on unreadable files;
+/// skips malformed lines.
+Trace read_spc_trace(const std::string& path, const std::string& name);
+
+/// Parses MSR-Cambridge-format CSV.
+Trace read_msr_trace(const std::string& path, const std::string& name);
+
+/// Writes the canonical format: "time_us,page,pages,R|W" per line.
+void write_canonical_trace(const Trace& trace, const std::string& path);
+
+/// Reads the canonical format written by write_canonical_trace.
+Trace read_canonical_trace(const std::string& path, const std::string& name);
+
+}  // namespace kdd

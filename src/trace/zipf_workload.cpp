@@ -1,0 +1,46 @@
+#include "trace/zipf_workload.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+ZipfWorkload::ZipfWorkload(const ZipfWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.working_set_pages, config.alpha) {
+  KDD_CHECK(config_.working_set_pages > 0);
+  scatter_m_ = config_.array_pages ? config_.array_pages : config_.working_set_pages;
+  KDD_CHECK(scatter_m_ >= config_.working_set_pages);
+  // Affine scatter of the working set across the array keeps Zipf-hot pages
+  // from clustering at low disk addresses.
+  scatter_a_ = rng_.next_below(scatter_m_) | 1;
+  while (std::gcd(scatter_a_, scatter_m_) != 1) {
+    scatter_a_ = (scatter_a_ + 2) % scatter_m_ | 1;
+  }
+  if (scatter_a_ == 0) scatter_a_ = 1;
+}
+
+TraceRecord ZipfWorkload::next() {
+  KDD_CHECK(!done());
+  ++issued_;
+  TraceRecord r;
+  const std::uint64_t rank = zipf_.sample(rng_);
+  r.page = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(scatter_a_) * rank) % scatter_m_);
+  r.pages = 1;
+  r.is_read = rng_.next_bool(config_.read_rate);
+  return r;
+}
+
+Trace generate_zipf_trace(const ZipfWorkloadConfig& config) {
+  ZipfWorkload w(config);
+  Trace t;
+  t.name = "zipf";
+  t.records.reserve(config.total_requests);
+  while (!w.done()) t.records.push_back(w.next());
+  return t;
+}
+
+}  // namespace kdd

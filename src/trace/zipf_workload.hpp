@@ -1,0 +1,51 @@
+// Closed-loop synthetic workload equivalent to the paper's FIO benchmark run
+// (Section IV-B3): Zipf-distributed 4 KiB accesses with alpha = 1.0001 over a
+// 1.6 GiB working set, a configurable read rate, and a fixed total volume
+// (4 GiB, i.e. one million requests). Requests are produced on demand — the
+// closed-loop driver issues the next one as soon as a worker completes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace kdd {
+
+struct ZipfWorkloadConfig {
+  double alpha = 1.0001;
+  std::uint64_t working_set_pages = 409600;  ///< 1.6 GiB at 4 KiB
+  std::uint64_t total_requests = 1048576;    ///< 4 GiB of 4 KiB requests
+  double read_rate = 0.0;                    ///< fraction of requests that read
+  std::uint64_t array_pages = 0;  ///< footprint is scattered over [0, array_pages);
+                                  ///< 0 = use working_set_pages (dense)
+  std::uint64_t seed = 7;
+};
+
+class ZipfWorkload {
+ public:
+  explicit ZipfWorkload(const ZipfWorkloadConfig& config);
+
+  bool done() const { return issued_ >= config_.total_requests; }
+  std::uint64_t issued() const { return issued_; }
+
+  /// Produces the next request (single page). Timestamps are not meaningful
+  /// in closed-loop mode and are left zero.
+  TraceRecord next();
+
+  const ZipfWorkloadConfig& config() const { return config_; }
+
+ private:
+  ZipfWorkloadConfig config_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  std::uint64_t scatter_a_;
+  std::uint64_t scatter_m_;
+  std::uint64_t issued_ = 0;
+};
+
+/// Materialises the whole workload as a Trace (for counter-mode simulation).
+Trace generate_zipf_trace(const ZipfWorkloadConfig& config);
+
+}  // namespace kdd

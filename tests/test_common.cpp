@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace kdd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(6);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(8);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.next_gaussian(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(GaussianRatioSampler, ClampsToBounds) {
+  const GaussianRatioSampler sampler(0.5, 5.0, 0.1, 0.9);  // huge sigma
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = sampler.sample(rng);
+    EXPECT_GE(v, 0.1);
+    EXPECT_LE(v, 0.9);
+  }
+}
+
+TEST(GaussianRatioSampler, MeanRoughlyPreserved) {
+  for (const double mean : {0.50, 0.25, 0.12}) {
+    const auto sampler = GaussianRatioSampler::for_mean(mean);
+    Rng rng(10);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(sampler.sample(rng));
+    EXPECT_NEAR(stats.mean(), mean, mean * 0.05) << "mean " << mean;
+  }
+}
+
+TEST(ZipfSampler, StaysInRange) {
+  const ZipfSampler zipf(1000, 1.0001);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  const ZipfSampler zipf(1, 1.2);
+  Rng rng(12);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfSampler, FrequenciesFollowPowerLaw) {
+  const ZipfSampler zipf(10000, 1.0);
+  Rng rng(13);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  // rank-1 frequency / rank-10 frequency should be ~10 for alpha=1.
+  const double ratio = static_cast<double>(counts[0]) / counts[9];
+  EXPECT_NEAR(ratio, 10.0, 3.0);
+  // Rank 0 must be the most popular.
+  for (const auto& [rank, count] : counts) {
+    EXPECT_LE(count, counts[0] + 50) << "rank " << rank;
+  }
+}
+
+TEST(ZipfSampler, HigherAlphaConcentratesMass) {
+  Rng rng(14);
+  auto top_share = [&](double alpha) {
+    const ZipfSampler zipf(100000, alpha);
+    int top = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (zipf.sample(rng) < 100) ++top;
+    }
+    return static_cast<double>(top) / kSamples;
+  };
+  EXPECT_GT(top_share(1.2), top_share(0.6));
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const DiscreteSampler sampler({1.0, 0.0, 3.0});
+  Rng rng(15);
+  int counts[3] = {};
+  for (int i = 0; i < 40000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombined) {
+  Rng rng(16);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian(3.0, 2.0);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LatencyHistogram, SmallValuesExact) {
+  LatencyHistogram h;
+  for (SimTime v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.percentile_us(0.5), 15u);
+  EXPECT_EQ(h.percentile_us(1.0), 31u);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError) {
+  LatencyHistogram h;
+  Rng rng(17);
+  std::vector<SimTime> values;
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime v = 1 + rng.next_below(10'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const SimTime exact =
+        values[static_cast<std::size_t>(q * static_cast<double>(values.size() - 1))];
+    const SimTime approx = h.percentile_us(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.08)
+        << "q=" << q;
+  }
+  double mean = 0;
+  for (const SimTime v : values) mean += static_cast<double>(v);
+  mean /= static_cast<double>(values.size());
+  EXPECT_NEAR(h.mean_us(), mean, 1e-6);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(100);
+  b.record(200);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.percentile_us(1.0), 200u);
+}
+
+TEST(SampleRecorder, ExactPercentiles) {
+  SampleRecorder r;
+  for (int i = 1; i <= 100; ++i) r.record(i);
+  EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 100.0);
+  EXPECT_NEAR(r.percentile(0.5), 50.0, 1.0);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+TEST(Format, Pct) { EXPECT_EQ(format_pct(0.423), "42.3%"); }
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace kdd

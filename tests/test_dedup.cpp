@@ -1,0 +1,126 @@
+#include "policies/dedup_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace kdd {
+namespace {
+
+using testing::ReferenceModel;
+using testing::test_page;
+
+struct DedupRig {
+  DedupRig(std::uint64_t cache_pages = 64) {
+    RaidGeometry geo;
+    geo.level = RaidLevel::kRaid5;
+    geo.num_disks = 5;
+    geo.chunk_pages = 4;
+    geo.disk_pages = 256;
+    array = std::make_unique<RaidArray>(geo);
+    SsdConfig scfg;
+    scfg.logical_pages = cache_pages;
+    ssd = std::make_unique<SsdModel>(scfg);
+    PolicyConfig cfg;
+    cfg.ssd_pages = cache_pages;
+    cfg.ways = 8;
+    policy = std::make_unique<DedupCachePolicy>(cfg, array.get(), ssd.get());
+  }
+  std::unique_ptr<RaidArray> array;
+  std::unique_ptr<SsdModel> ssd;
+  std::unique_ptr<DedupCachePolicy> policy;
+};
+
+TEST(DedupCache, IdenticalContentSharesOneSlot) {
+  DedupRig rig;
+  const Page common = test_page(42);
+  for (Lba lba = 0; lba < 20; ++lba) {
+    ASSERT_EQ(rig.policy->write(lba, common, nullptr), IoStatus::kOk);
+  }
+  EXPECT_EQ(rig.policy->slots_in_use(), 1u);
+  EXPECT_EQ(rig.policy->mapped_lbas(), 20u);
+  EXPECT_EQ(rig.policy->dedup_hits(), 19u);
+  // Exactly one flash page program for twenty cached writes.
+  EXPECT_EQ(rig.policy->stats().total_ssd_writes(), 1u);
+  // Every LBA reads back the shared contents.
+  Page buf = make_page();
+  for (Lba lba = 0; lba < 20; ++lba) {
+    ASSERT_EQ(rig.policy->read(lba, buf, nullptr), IoStatus::kOk);
+    EXPECT_EQ(buf, common);
+  }
+}
+
+TEST(DedupCache, OverwriteRemapsAndFreesUnreferencedSlot) {
+  DedupRig rig;
+  ASSERT_EQ(rig.policy->write(0, test_page(1), nullptr), IoStatus::kOk);
+  EXPECT_EQ(rig.policy->slots_in_use(), 1u);
+  ASSERT_EQ(rig.policy->write(0, test_page(2), nullptr), IoStatus::kOk);
+  // The old contents have no referents left; its slot was recycled.
+  EXPECT_EQ(rig.policy->slots_in_use(), 1u);
+  Page buf = make_page();
+  ASSERT_EQ(rig.policy->read(0, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, test_page(2));
+}
+
+TEST(DedupCache, SharedSlotSurvivesPartialUnmap) {
+  DedupRig rig;
+  const Page common = test_page(7);
+  ASSERT_EQ(rig.policy->write(0, common, nullptr), IoStatus::kOk);
+  ASSERT_EQ(rig.policy->write(1, common, nullptr), IoStatus::kOk);
+  // LBA 0 moves to different contents; LBA 1 must still read the original.
+  ASSERT_EQ(rig.policy->write(0, test_page(8), nullptr), IoStatus::kOk);
+  Page buf = make_page();
+  ASSERT_EQ(rig.policy->read(1, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, common);
+  EXPECT_EQ(rig.policy->slots_in_use(), 2u);
+}
+
+TEST(DedupCache, EvictionBoundsMappings) {
+  DedupRig rig(16);
+  for (Lba lba = 0; lba < 100; ++lba) {
+    ASSERT_EQ(rig.policy->write(lba, test_page(lba), nullptr), IoStatus::kOk);
+  }
+  EXPECT_LE(rig.policy->mapped_lbas(), 16u);
+  EXPECT_LE(rig.policy->slots_in_use(), 16u);
+  // Most recent entries survive.
+  Page buf = make_page();
+  const std::uint64_t hits_before = rig.policy->stats().read_hits;
+  ASSERT_EQ(rig.policy->read(99, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(rig.policy->stats().read_hits, hits_before + 1);
+  EXPECT_EQ(buf, test_page(99));
+}
+
+TEST(DedupCache, ReadYourWritesUnderRandomDuplicateHeavyWorkload) {
+  DedupRig rig(64);
+  ReferenceModel model;
+  Rng rng(1);
+  Page buf = make_page();
+  for (int i = 0; i < 3000; ++i) {
+    const Lba lba = rng.next_below(128);
+    if (rng.next_bool(0.5)) {
+      // Draw contents from a pool of 10 distinct pages: heavy duplication.
+      const Page data = test_page(rng.next_below(10));
+      ASSERT_EQ(rig.policy->write(lba, data, nullptr), IoStatus::kOk);
+      model.write(lba, data);
+    } else {
+      ASSERT_EQ(rig.policy->read(lba, buf, nullptr), IoStatus::kOk);
+      ASSERT_EQ(buf, model.read(lba)) << "lba " << lba;
+    }
+  }
+  EXPECT_GT(rig.policy->dedup_hits(), 1000u);
+  EXPECT_LE(rig.policy->slots_in_use(), 10u);
+  EXPECT_TRUE(rig.array->scrub().empty());  // write-through keeps RAID exact
+}
+
+TEST(DedupCache, NoDuplicatesDegradesToPlainWriteThrough) {
+  DedupRig rig(64);
+  for (Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_EQ(rig.policy->write(lba, test_page(1000 + lba), nullptr), IoStatus::kOk);
+  }
+  EXPECT_EQ(rig.policy->dedup_hits(), 0u);
+  EXPECT_EQ(rig.policy->slots_in_use(), 32u);
+  EXPECT_EQ(rig.policy->stats().total_ssd_writes(), 32u);
+}
+
+}  // namespace
+}  // namespace kdd

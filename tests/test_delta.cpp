@@ -1,0 +1,145 @@
+#include "compress/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "compress/content.hpp"
+#include "test_util.hpp"
+
+namespace kdd {
+namespace {
+
+using testing::test_page;
+
+TEST(Delta, IdenticalPagesProduceTinyDelta) {
+  const Page a = test_page(1);
+  const Delta d = make_delta(a, a);
+  EXPECT_FALSE(d.raw);
+  EXPECT_LT(d.packed_size(), 64u);
+  EXPECT_EQ(apply_delta(a, d), a);
+}
+
+TEST(Delta, CompletelyDifferentPagesFallBackToRaw) {
+  const Page a = test_page(1);
+  const Page b = test_page(2);
+  const Delta d = make_delta(a, b);
+  EXPECT_TRUE(d.raw);
+  EXPECT_EQ(d.payload.size(), kPageSize);
+  EXPECT_EQ(apply_delta(a, d), b);
+}
+
+TEST(Delta, SparseChangeRoundTrips) {
+  const Page a = test_page(3);
+  Page b = a;
+  for (int i = 100; i < 164; ++i) b[static_cast<std::size_t>(i)] ^= 0x5a;
+  const Delta d = make_delta(a, b);
+  EXPECT_FALSE(d.raw);
+  EXPECT_LT(d.packed_size(), 256u);
+  EXPECT_EQ(apply_delta(a, d), b);
+}
+
+TEST(Delta, XorOfDeltaEqualsPageDiff) {
+  const Page a = test_page(4);
+  Page b = a;
+  b[0] ^= 0xff;
+  b[4095] ^= 0x01;
+  const Delta d = make_delta(a, b);
+  EXPECT_EQ(delta_to_xor(d), xor_pages(a, b));
+}
+
+TEST(Delta, PackUnpackSingle) {
+  const Page a = test_page(5);
+  Page b = a;
+  b[7] ^= 1;
+  const Delta d = make_delta(a, b);
+  Page buf = make_page();
+  const std::size_t written = pack_delta(d, buf, 100);
+  EXPECT_EQ(written, d.packed_size());
+  Delta out;
+  ASSERT_TRUE(unpack_delta(buf, 100, out));
+  EXPECT_EQ(out.raw, d.raw);
+  EXPECT_EQ(out.payload, d.payload);
+}
+
+TEST(Delta, PackMultipleIntoOnePage) {
+  // The DEZ page format: several deltas packed back to back.
+  Page dez = make_page();
+  std::vector<Delta> deltas;
+  std::vector<std::size_t> offsets;
+  std::size_t off = 0;
+  Rng rng(6);
+  for (int i = 0; i < 6; ++i) {
+    const Page a = test_page(static_cast<std::uint64_t>(10 + i));
+    Page b = a;
+    const std::size_t start = rng.next_below(kPageSize - 80);
+    for (std::size_t j = 0; j < 80; ++j) b[start + j] ^= 0x33;
+    Delta d = make_delta(a, b);
+    ASSERT_LE(off + d.packed_size(), kPageSize);
+    offsets.push_back(off);
+    off += pack_delta(d, dez, off);
+    deltas.push_back(std::move(d));
+  }
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    Delta out;
+    ASSERT_TRUE(unpack_delta(dez, offsets[i], out));
+    EXPECT_EQ(out.payload, deltas[i].payload);
+  }
+}
+
+TEST(Delta, UnpackRejectsOutOfBounds) {
+  Page buf(16, 0);
+  Delta out;
+  EXPECT_FALSE(unpack_delta(buf, 15, out));  // header would overrun
+  buf[0] = 0;
+  buf[1] = 0xff;
+  buf[2] = 0x3f;  // length 16383 overruns
+  EXPECT_FALSE(unpack_delta(buf, 0, out));
+  buf[0] = 7;  // invalid flag
+  buf[1] = buf[2] = 0;
+  EXPECT_FALSE(unpack_delta(buf, 0, out));
+}
+
+class ContentLocalityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContentLocalityTest, MutationHitsTargetCompressionRatio) {
+  const double target = GetParam();
+  const ContentGenerator gen(42);
+  Rng rng(43);
+  OnlineStats ratios;
+  for (int i = 0; i < 30; ++i) {
+    const Page base = gen.base_page(static_cast<Lba>(i));
+    const Page mutated = gen.mutate(base, target, rng);
+    const Delta d = make_delta(base, mutated);
+    ratios.add(static_cast<double>(d.packed_size()) / kPageSize);
+    // Correctness regardless of ratio:
+    EXPECT_EQ(apply_delta(base, d), mutated);
+  }
+  EXPECT_NEAR(ratios.mean(), target, target * 0.35 + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ContentLocalityTest,
+                         ::testing::Values(0.12, 0.25, 0.50));
+
+TEST(ContentGenerator, BasePagesAreDeterministicAndDistinct) {
+  const ContentGenerator gen(1);
+  EXPECT_EQ(gen.base_page(5), gen.base_page(5));
+  EXPECT_NE(gen.base_page(5), gen.base_page(6));
+  const ContentGenerator gen2(2);
+  EXPECT_NE(gen.base_page(5), gen2.base_page(5));
+}
+
+TEST(Bytes, XorHelpers) {
+  const Page a = test_page(20);
+  const Page b = test_page(21);
+  Page c = xor_pages(a, b);
+  EXPECT_NE(c, a);
+  xor_into(c, b);
+  EXPECT_EQ(c, a);
+  EXPECT_FALSE(all_zero(a));
+  EXPECT_TRUE(all_zero(make_page()));
+  EXPECT_TRUE(all_zero(xor_pages(a, a)));
+}
+
+}  // namespace
+}  // namespace kdd

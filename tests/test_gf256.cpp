@@ -1,0 +1,101 @@
+#include "raid/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace kdd {
+namespace {
+
+TEST(Gf256, MultiplicationBasics) {
+  EXPECT_EQ(gf256::mul(0, 77), 0);
+  EXPECT_EQ(gf256::mul(77, 0), 0);
+  EXPECT_EQ(gf256::mul(1, 77), 77);
+  EXPECT_EQ(gf256::mul(77, 1), 77);
+  // g = 2: 2*128 = 0x1d (reduction by x^8+x^4+x^3+x^2+1).
+  EXPECT_EQ(gf256::mul(2, 128), 0x1d);
+}
+
+TEST(Gf256, ExpLogInverse) {
+  for (unsigned e = 0; e < 255; ++e) {
+    const std::uint8_t v = gf256::exp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_EQ(gf256::log(v), e);
+  }
+}
+
+TEST(Gf256, ExpPeriod255) {
+  EXPECT_EQ(gf256::exp(0), 1);
+  EXPECT_EQ(gf256::exp(255), 1);
+  EXPECT_EQ(gf256::exp(256), gf256::exp(1));
+}
+
+TEST(Gf256, InverseIsTwoSided) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto av = static_cast<std::uint8_t>(a);
+    const std::uint8_t inv = gf256::inv(av);
+    EXPECT_EQ(gf256::mul(av, inv), 1) << "a=" << a;
+    EXPECT_EQ(gf256::mul(inv, av), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+  }
+}
+
+// Field axioms verified over random samples.
+class Gf256AxiomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Gf256AxiomTest, AssociativityCommutativityDistributivity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+    // Addition in GF(2^8) is XOR.
+    EXPECT_EQ(gf256::mul(a, static_cast<std::uint8_t>(b ^ c)),
+              gf256::mul(a, b) ^ gf256::mul(a, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gf256AxiomTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Gf256, MulAccMatchesScalarLoop) {
+  Rng rng(9);
+  std::vector<std::uint8_t> dst(257), src(257), expected(257);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(rng.next_u64());
+    src[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  for (const std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{0x53}}) {
+    auto d = dst;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      expected[i] = static_cast<std::uint8_t>(d[i] ^ gf256::mul(c, src[i]));
+    }
+    gf256::mul_acc(d, c, src);
+    EXPECT_EQ(d, expected) << "c=" << int{c};
+  }
+}
+
+TEST(Gf256, ScaleMatchesScalarLoop) {
+  Rng rng(10);
+  std::vector<std::uint8_t> dst(100);
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_u64());
+  auto d = dst;
+  gf256::scale(d, 0x9a);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    EXPECT_EQ(d[i], gf256::mul(dst[i], 0x9a));
+  }
+  gf256::scale(d, 0);
+  for (const std::uint8_t b : d) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace kdd

@@ -1,0 +1,123 @@
+// Cross-cutting integration tests: the timed simulator over real data
+// planes, parity maintenance with failed parity disks, and trace utilities'
+// degenerate inputs.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "policies/nocache.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+
+namespace kdd {
+namespace {
+
+using testing::test_page;
+
+TEST(Integration, TimedSimulatorOverRealDataPlane) {
+  // The event simulator drives a prototype-mode KDD: timing comes from the
+  // plans while real bytes flow underneath; afterwards the array must scrub
+  // clean and the SSD must show real wear.
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 8;
+  geo.disk_pages = 1024;
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = 512;
+  SsdModel ssd(scfg);
+  PolicyConfig cfg;
+  cfg.ssd_pages = 512;
+  KddCache kdd(cfg, &array, &ssd);
+
+  EventSimulator sim(paper_sim_config(geo.num_disks), &kdd);
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = 1024;
+  wcfg.total_requests = 4000;
+  wcfg.read_rate = 0.4;
+  wcfg.array_pages = geo.data_pages();
+  ZipfWorkload workload(wcfg);
+  const SimResult r = sim.run_closed_loop(workload, 8);
+  EXPECT_EQ(r.requests, 4000u);
+  EXPECT_GT(r.latency.mean_us(), 0.0);
+  EXPECT_GT(ssd.wear().host_page_writes, 0u);
+  kdd.check_invariants();
+  kdd.flush(nullptr);
+  EXPECT_TRUE(array.scrub().empty());
+}
+
+TEST(Integration, SimulatorReportsUtilization) {
+  RaidGeometry geo = paper_geometry(8191);
+  NoCachePolicy policy(geo);
+  EventSimulator sim(paper_sim_config(geo.num_disks), &policy);
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = 4096;
+  wcfg.total_requests = 1000;
+  wcfg.read_rate = 0.0;  // all RMW: disks saturate
+  wcfg.array_pages = geo.data_pages();
+  ZipfWorkload workload(wcfg);
+  const SimResult r = sim.run_closed_loop(workload, 16);
+  ASSERT_EQ(r.hdd_busy_us.size(), geo.num_disks);
+  EXPECT_GT(r.max_hdd_utilization(), 0.3);
+  EXPECT_LE(r.max_hdd_utilization(), 1.0);
+  EXPECT_GT(r.throughput_iops(), 0.0);
+  EXPECT_EQ(r.ssd_busy_us, 0u);  // Nossd never touches the SSD
+}
+
+TEST(Integration, ParityUpdateWithFailedParityDiskIsGraceful) {
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 4;
+  geo.disk_pages = 64;
+  RaidArray array(geo);
+  const Lba lba = 3;
+  ASSERT_EQ(array.write_page(lba, test_page(lba, 0)), IoStatus::kOk);
+  ASSERT_EQ(array.write_page_nopar(lba, test_page(lba, 1)), IoStatus::kOk);
+  const GroupId g = array.layout().group_of(lba);
+  array.fail_disk(array.layout().parity_addr(g).disk);
+  // Nothing to update on a dead parity disk; the call must still succeed and
+  // clear the deferred state.
+  const Page diff = xor_pages(test_page(lba, 0), test_page(lba, 1));
+  const GroupDelta delta{array.layout().index_in_group(lba), &diff};
+  EXPECT_EQ(array.update_parity_rmw(g, {&delta, 1}), IoStatus::kOk);
+  EXPECT_FALSE(array.group_stale(g));
+  // Rebuilding the parity disk recomputes fresh parity from current data.
+  EXPECT_EQ(array.rebuild_disk(array.layout().parity_addr(g).disk), 0u);
+  EXPECT_TRUE(array.scrub().empty());
+  Page buf = make_page();
+  ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+  EXPECT_EQ(buf, test_page(lba, 1));
+}
+
+TEST(Integration, RescaleDurationHandlesDegenerateTraces) {
+  Trace empty;
+  rescale_duration(empty, 1000);  // no crash
+  Trace burst;
+  burst.records = {{5, 0, 1, true}, {5, 1, 1, true}, {5, 2, 1, true}};
+  rescale_duration(burst, 3000);  // zero span: spread evenly
+  EXPECT_EQ(burst.records[0].time_us, 0u);
+  EXPECT_LT(burst.records[1].time_us, 3000u);
+  EXPECT_GT(burst.records[2].time_us, burst.records[1].time_us);
+}
+
+TEST(Integration, AllPoliciesSurviveEmptyAndSingleRequestTraces) {
+  const RaidGeometry geo = paper_geometry(1000);
+  PolicyConfig cfg;
+  cfg.ssd_pages = 2048;
+  for (const PolicyKind kind : {PolicyKind::kNossd, PolicyKind::kWT, PolicyKind::kWA,
+                                PolicyKind::kLeavO, PolicyKind::kKdd, PolicyKind::kWB}) {
+    auto policy = make_policy(kind, cfg, geo);
+    Trace empty;
+    const CacheStats s0 = run_counter_trace(*policy, empty, geo.data_pages());
+    EXPECT_EQ(s0.requests(), 0u);
+    Trace one;
+    one.records = {{0, 5, 1, false}};
+    const CacheStats s1 = run_counter_trace(*policy, one, geo.data_pages());
+    EXPECT_EQ(s1.requests(), 1u) << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace kdd

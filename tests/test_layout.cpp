@@ -1,0 +1,117 @@
+#include "raid/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kdd {
+namespace {
+
+RaidGeometry small_geo(RaidLevel level, std::uint32_t disks) {
+  RaidGeometry geo;
+  geo.level = level;
+  geo.num_disks = disks;
+  geo.chunk_pages = 4;
+  geo.disk_pages = 64;
+  return geo;
+}
+
+class LayoutTest
+    : public ::testing::TestWithParam<std::tuple<RaidLevel, std::uint32_t>> {};
+
+TEST_P(LayoutTest, MappingIsInjectiveAndAvoidsParity) {
+  const auto [level, disks] = GetParam();
+  const RaidGeometry geo = small_geo(level, disks);
+  const RaidLayout layout(geo);
+  std::set<std::pair<std::uint32_t, Lba>> used;
+  for (Lba lba = 0; lba < geo.data_pages(); ++lba) {
+    const DiskAddr a = layout.map(lba);
+    EXPECT_LT(a.disk, geo.num_disks);
+    EXPECT_LT(a.page, geo.disk_pages);
+    EXPECT_TRUE(used.insert({a.disk, a.page}).second) << "collision at lba " << lba;
+    const std::uint64_t row = a.page / geo.chunk_pages;
+    if (level != RaidLevel::kRaid0) {
+      EXPECT_NE(a.disk, layout.parity_disk(row));
+      if (level == RaidLevel::kRaid6) {
+        EXPECT_NE(a.disk, layout.q_parity_disk(row));
+      }
+    }
+  }
+}
+
+TEST_P(LayoutTest, GroupMemberInvertsIndexing) {
+  const auto [level, disks] = GetParam();
+  const RaidGeometry geo = small_geo(level, disks);
+  const RaidLayout layout(geo);
+  for (Lba lba = 0; lba < geo.data_pages(); ++lba) {
+    const GroupId g = layout.group_of(lba);
+    EXPECT_LT(g, geo.num_groups());
+    const std::uint32_t idx = layout.index_in_group(lba);
+    EXPECT_LT(idx, geo.data_disks());
+    EXPECT_EQ(layout.group_member(g, idx), lba);
+  }
+}
+
+TEST_P(LayoutTest, GroupMembersShareRowDifferentDisks) {
+  const auto [level, disks] = GetParam();
+  const RaidGeometry geo = small_geo(level, disks);
+  const RaidLayout layout(geo);
+  for (GroupId g = 0; g < geo.num_groups(); g += 3) {
+    std::set<std::uint32_t> disks_used;
+    for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+      const DiskAddr a = layout.map(layout.group_member(g, k));
+      EXPECT_TRUE(disks_used.insert(a.disk).second);
+    }
+    if (level != RaidLevel::kRaid0) {
+      const DiskAddr pa = layout.parity_addr(g);
+      EXPECT_FALSE(disks_used.contains(pa.disk));
+      if (level == RaidLevel::kRaid6) {
+        const DiskAddr qa = layout.q_parity_addr(g);
+        EXPECT_FALSE(disks_used.contains(qa.disk));
+        EXPECT_NE(pa.disk, qa.disk);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutTest,
+    ::testing::Values(std::make_tuple(RaidLevel::kRaid0, 4u),
+                      std::make_tuple(RaidLevel::kRaid5, 3u),
+                      std::make_tuple(RaidLevel::kRaid5, 5u),
+                      std::make_tuple(RaidLevel::kRaid5, 8u),
+                      std::make_tuple(RaidLevel::kRaid6, 4u),
+                      std::make_tuple(RaidLevel::kRaid6, 6u)));
+
+TEST(Layout, ParityRotatesAcrossAllDisks) {
+  const RaidGeometry geo = small_geo(RaidLevel::kRaid5, 5);
+  const RaidLayout layout(geo);
+  std::set<std::uint32_t> parity_disks;
+  for (std::uint64_t row = 0; row < geo.stripe_rows(); ++row) {
+    parity_disks.insert(layout.parity_disk(row));
+  }
+  EXPECT_EQ(parity_disks.size(), geo.num_disks);
+}
+
+TEST(Layout, DataCapacityExcludesParity) {
+  const RaidGeometry geo = small_geo(RaidLevel::kRaid5, 5);
+  EXPECT_EQ(geo.data_pages(), geo.disk_pages * 4);
+  const RaidGeometry geo6 = small_geo(RaidLevel::kRaid6, 6);
+  EXPECT_EQ(geo6.data_pages(), geo6.disk_pages * 4);
+}
+
+TEST(Layout, SequentialPagesInChunkShareDiskConsecutiveGroups) {
+  const RaidGeometry geo = small_geo(RaidLevel::kRaid5, 5);
+  const RaidLayout layout(geo);
+  // Pages 0..chunk-1 are one chunk on one disk, in consecutive groups.
+  const DiskAddr a0 = layout.map(0);
+  for (Lba lba = 1; lba < geo.chunk_pages; ++lba) {
+    const DiskAddr a = layout.map(lba);
+    EXPECT_EQ(a.disk, a0.disk);
+    EXPECT_EQ(a.page, a0.page + lba);
+    EXPECT_EQ(layout.group_of(lba), layout.group_of(0) + lba);
+  }
+}
+
+}  // namespace
+}  // namespace kdd

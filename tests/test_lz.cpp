@@ -1,0 +1,157 @@
+#include "compress/lz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace kdd {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& input) {
+  const std::vector<std::uint8_t> compressed = lz_compress(input);
+  EXPECT_LE(compressed.size(), lz_max_compressed_size(input.size()));
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(lz_decompress(compressed, input.size(), out));
+  return out;
+}
+
+TEST(Lz, EmptyInput) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(roundtrip(empty), empty);
+}
+
+TEST(Lz, SingleByte) {
+  const std::vector<std::uint8_t> one{42};
+  EXPECT_EQ(roundtrip(one), one);
+}
+
+TEST(Lz, ShortLiteralRun) {
+  const std::vector<std::uint8_t> input{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(roundtrip(input), input);
+}
+
+TEST(Lz, AllZerosCompressesHard) {
+  const std::vector<std::uint8_t> zeros(4096, 0);
+  const auto compressed = lz_compress(zeros);
+  EXPECT_LT(compressed.size(), 64u);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(lz_decompress(compressed, zeros.size(), out));
+  EXPECT_EQ(out, zeros);
+}
+
+TEST(Lz, RepeatingPatternCompresses) {
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 512; ++i) {
+    input.push_back(static_cast<std::uint8_t>(i % 7));
+  }
+  const auto compressed = lz_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(lz_decompress(compressed, input.size(), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(Lz, IncompressibleRandomRoundTrips) {
+  Rng rng(7);
+  std::vector<std::uint8_t> input(4096);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u64());
+  EXPECT_EQ(roundtrip(input), input);
+}
+
+TEST(Lz, SparseXorLikeDeltaCompresses) {
+  // The workload shape KDD cares about: mostly zeros with scattered runs.
+  Rng rng(11);
+  std::vector<std::uint8_t> input(4096, 0);
+  for (int run = 0; run < 8; ++run) {
+    const std::size_t start = rng.next_below(4096 - 32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      input[start + i] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+  }
+  const auto compressed = lz_compress(input);
+  EXPECT_LT(compressed.size(), 1024u);  // ~256 nonzero bytes + tokens
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(lz_decompress(compressed, input.size(), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(Lz, OverlappingMatchRun) {
+  // "abcabcabc..." exercises matches that overlap their own output.
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  EXPECT_EQ(roundtrip(input), input);
+}
+
+TEST(Lz, LongMatchNeedsLengthExtensionBytes) {
+  std::vector<std::uint8_t> input(10000, 0xAB);
+  input[0] = 1;  // break the leading literal
+  EXPECT_EQ(roundtrip(input), input);
+}
+
+TEST(Lz, ManyLiteralsNeedLengthExtensionBytes) {
+  // > 15 literals before the first match forces literal-length extension.
+  Rng rng(13);
+  std::vector<std::uint8_t> input(400);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u64());
+  input.resize(500, 0x11);  // trailing run gives one match
+  EXPECT_EQ(roundtrip(input), input);
+}
+
+TEST(Lz, DecompressRejectsTruncatedStream) {
+  std::vector<std::uint8_t> input(512, 3);
+  auto compressed = lz_compress(input);
+  compressed.resize(compressed.size() / 2);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lz_decompress(compressed, input.size(), out));
+}
+
+TEST(Lz, DecompressRejectsWrongExpectedSize) {
+  std::vector<std::uint8_t> input(512, 3);
+  const auto compressed = lz_compress(input);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lz_decompress(compressed, input.size() + 1, out));
+  EXPECT_FALSE(lz_decompress(compressed, input.size() - 1, out));
+}
+
+TEST(Lz, DecompressRejectsBadOffset) {
+  // Token demanding a match at offset beyond produced output.
+  const std::vector<std::uint8_t> bogus{0x10, 0x41, 0xff, 0x00};
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lz_decompress(bogus, 64, out));
+}
+
+TEST(Lz, DecompressRejectsZeroOffset) {
+  const std::vector<std::uint8_t> bogus{0x10, 0x41, 0x00, 0x00};
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lz_decompress(bogus, 64, out));
+}
+
+// Property sweep: random contents with varying mutation density round-trip.
+class LzPropertyTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(LzPropertyTest, RoundTrip) {
+  const auto [size, density] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size) * 1000003 +
+          static_cast<std::uint64_t>(density * 1000));
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::uint8_t> input(static_cast<std::size_t>(size), 0);
+    for (auto& b : input) {
+      if (rng.next_double() < density) b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    const auto compressed = lz_compress(input);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(lz_decompress(compressed, input.size(), out));
+    ASSERT_EQ(out, input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, LzPropertyTest,
+    ::testing::Combine(::testing::Values(1, 5, 64, 333, 4096, 16384),
+                       ::testing::Values(0.0, 0.05, 0.3, 1.0)));
+
+}  // namespace
+}  // namespace kdd

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "policies/leavo.hpp"
+#include "policies/nocache.hpp"
+#include "policies/write_around.hpp"
+#include "policies/write_through.hpp"
+#include "test_util.hpp"
+#include "trace/zipf_workload.hpp"
+
+namespace kdd {
+namespace {
+
+using testing::ReferenceModel;
+using testing::test_page;
+
+RaidGeometry small_geo() {
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 4;
+  geo.disk_pages = 256;
+  return geo;
+}
+
+PolicyConfig small_config() {
+  PolicyConfig cfg;
+  cfg.ssd_pages = 256;
+  cfg.ways = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Counter-mode behaviour
+// ---------------------------------------------------------------------------
+
+TEST(NoCachePolicy, EverythingIsMissAndRmw) {
+  NoCachePolicy policy(small_geo());
+  IoPlan plan;
+  policy.write(0, {}, &plan);
+  EXPECT_EQ(plan.total_ops(), 4u);  // RAID-5 small write
+  policy.read(0, {}, nullptr);
+  const CacheStats s = policy.stats();
+  EXPECT_EQ(s.read_misses, 1u);
+  EXPECT_EQ(s.write_misses, 1u);
+  EXPECT_EQ(s.hit_ratio(), 0.0);
+}
+
+TEST(WriteThrough, HitAndMissAccounting) {
+  WriteThroughPolicy policy(small_config(), small_geo());
+  policy.read(5, {}, nullptr);   // miss + fill
+  policy.read(5, {}, nullptr);   // hit
+  policy.write(5, {}, nullptr);  // write hit (updates cache + RAID)
+  policy.write(6, {}, nullptr);  // write miss (alloc)
+  const CacheStats s = policy.stats();
+  EXPECT_EQ(s.read_misses, 1u);
+  EXPECT_EQ(s.read_hits, 1u);
+  EXPECT_EQ(s.write_hits, 1u);
+  EXPECT_EQ(s.write_misses, 1u);
+  EXPECT_EQ(s.ssd_writes[static_cast<int>(SsdWriteKind::kReadFill)], 1u);
+  EXPECT_EQ(s.ssd_writes[static_cast<int>(SsdWriteKind::kWriteUpdate)], 1u);
+  EXPECT_EQ(s.ssd_writes[static_cast<int>(SsdWriteKind::kWriteAlloc)], 1u);
+  EXPECT_EQ(s.metadata_ssd_writes(), 0u);  // WT persists nothing
+}
+
+TEST(WriteThrough, EveryWriteCostsFullParityUpdate) {
+  WriteThroughPolicy policy(small_config(), small_geo());
+  IoPlan plan;
+  policy.write(0, {}, &plan);
+  // RMW on RAID (2R+2W) plus the SSD page program.
+  EXPECT_EQ(plan.total_ops(), 5u);
+  EXPECT_EQ(policy.raid().stale_group_count(), 0u);
+}
+
+TEST(WriteThrough, LruEvictionWithinSet) {
+  PolicyConfig cfg = small_config();
+  cfg.ssd_pages = 17;  // one set of 16 ways
+  cfg.ways = 16;
+  WriteThroughPolicy policy(cfg, small_geo());
+  // Touch 17 distinct pages: the first becomes the eviction victim.
+  for (Lba lba = 0; lba < 17; ++lba) policy.read(lba, {}, nullptr);
+  policy.read(0, {}, nullptr);  // must be a miss again
+  policy.read(16, {}, nullptr);  // most recent survives
+  const CacheStats s = policy.stats();
+  EXPECT_EQ(s.read_misses, 18u);
+  EXPECT_EQ(s.read_hits, 1u);
+}
+
+TEST(WriteAround, WritesBypassAndInvalidate) {
+  WriteAroundPolicy policy(small_config(), small_geo());
+  policy.read(7, {}, nullptr);   // fill
+  policy.write(7, {}, nullptr);  // bypass + invalidate
+  policy.read(7, {}, nullptr);   // miss again (no stale data served)
+  const CacheStats s = policy.stats();
+  EXPECT_EQ(s.read_misses, 2u);
+  EXPECT_EQ(s.read_hits, 0u);
+  EXPECT_EQ(s.write_bypasses, 1u);
+  // Only read fills write the SSD.
+  EXPECT_EQ(s.total_ssd_writes(),
+            s.ssd_writes[static_cast<int>(SsdWriteKind::kReadFill)]);
+}
+
+TEST(LeavO, WriteHitCreatesPinnedPairAndSkipsParity) {
+  LeavOPolicy policy(small_config(), small_geo());
+  policy.read(3, {}, nullptr);  // admit clean
+  IoPlan plan;
+  policy.write(3, {}, &plan);  // delayed write: 1 disk write + 1 SSD write
+  EXPECT_EQ(policy.pinned_pages(), 2u);
+  EXPECT_EQ(policy.raid().stale_group_count(), 1u);
+  std::size_t disk_writes = 0;
+  for (const auto& phase : plan.phases()) {
+    for (const DeviceOp& op : phase) {
+      if (op.target == DeviceOp::Target::kHdd && op.kind == IoKind::kWrite) {
+        ++disk_writes;
+      }
+    }
+  }
+  EXPECT_EQ(disk_writes, 1u);  // no parity write
+}
+
+TEST(LeavO, SecondWriteHitOverwritesNewVersion) {
+  LeavOPolicy policy(small_config(), small_geo());
+  policy.read(3, {}, nullptr);
+  policy.write(3, {}, nullptr);
+  policy.write(3, {}, nullptr);
+  EXPECT_EQ(policy.pinned_pages(), 2u);  // still one pair
+  EXPECT_EQ(policy.stats().write_hits, 2u);
+}
+
+TEST(LeavO, FlushRestoresParityAndReclaimsPairs) {
+  LeavOPolicy policy(small_config(), small_geo());
+  policy.read(3, {}, nullptr);
+  policy.write(3, {}, nullptr);
+  policy.flush(nullptr);
+  EXPECT_EQ(policy.pinned_pages(), 0u);
+  EXPECT_EQ(policy.raid().stale_group_count(), 0u);
+  // Cleaning reclaims the whole pair, so the next access misses again (the
+  // space-inefficiency the paper attributes to LeavO).
+  policy.read(3, {}, nullptr);
+  EXPECT_EQ(policy.stats().read_hits, 0u);
+  EXPECT_EQ(policy.stats().read_misses, 2u);
+}
+
+TEST(LeavO, PersistsMetadata) {
+  LeavOPolicy policy(small_config(), small_geo());
+  for (Lba lba = 0; lba < 200; ++lba) policy.read(lba, {}, nullptr);
+  policy.flush(nullptr);
+  EXPECT_GT(policy.stats().metadata_ssd_writes(), 0u);
+}
+
+TEST(LeavO, ConsumesMoreCacheSpaceThanWT) {
+  // With pinned version pairs LeavO holds fewer unique pages -> lower hit
+  // ratio on a re-read scan (the effect behind Figures 5/7).
+  PolicyConfig cfg = small_config();
+  cfg.ssd_pages = 64;
+  cfg.clean_high_watermark = 1.0;  // avoid cleaning during the test
+  const RaidGeometry geo = small_geo();
+
+  auto exercise = [&](CachePolicy& policy) {
+    for (Lba lba = 0; lba < 48; ++lba) policy.read(lba, {}, nullptr);
+    for (Lba lba = 0; lba < 24; ++lba) policy.write(lba, {}, nullptr);
+    for (Lba lba = 0; lba < 48; ++lba) policy.read(lba, {}, nullptr);
+    return policy.stats().read_hits;
+  };
+  WriteThroughPolicy wt(cfg, geo);
+  LeavOPolicy leavo(cfg, geo);
+  EXPECT_GT(exercise(wt), exercise(leavo));
+}
+
+// ---------------------------------------------------------------------------
+// Prototype-mode data correctness (real bytes through real devices)
+// ---------------------------------------------------------------------------
+
+class PolicyDataTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyDataTest, ReadYourWritesUnderRandomWorkload) {
+  const RaidGeometry geo = small_geo();
+  RaidArray array(geo);
+  SsdConfig ssd_cfg;
+  ssd_cfg.logical_pages = 256;
+  ssd_cfg.pages_per_block = 16;
+  SsdModel ssd(ssd_cfg);
+  PolicyConfig cfg = small_config();
+  auto policy = make_policy(GetParam(), cfg, &array, &ssd);
+
+  ReferenceModel model;
+  Rng rng(77);
+  Page buf = make_page();
+  for (int i = 0; i < 3000; ++i) {
+    const Lba lba = rng.next_below(512);
+    if (rng.next_bool(0.5)) {
+      const Page data = test_page(lba, static_cast<std::uint64_t>(i));
+      ASSERT_EQ(policy->write(lba, data, nullptr), IoStatus::kOk);
+      model.write(lba, data);
+    } else {
+      ASSERT_EQ(policy->read(lba, buf, nullptr), IoStatus::kOk);
+      ASSERT_EQ(buf, model.read(lba)) << policy->name() << " lba " << lba;
+    }
+  }
+  policy->flush(nullptr);
+  EXPECT_TRUE(array.scrub().empty()) << policy->name();
+  // After flush, everything must also be readable directly from the array.
+  for (const auto& [lba, page] : model.pages()) {
+    ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+    ASSERT_EQ(buf, page) << policy->name() << " lba " << lba;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyDataTest,
+                         ::testing::Values(PolicyKind::kNossd, PolicyKind::kWT,
+                                           PolicyKind::kWA, PolicyKind::kLeavO,
+                                           PolicyKind::kKdd),
+                         [](const auto& param_info) {
+                           return policy_kind_name(param_info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Comparative traffic properties (the qualitative content of Figs. 6/8/11)
+// ---------------------------------------------------------------------------
+
+TEST(PolicyComparison, WaWritesLeastKddBeatsWtAndLeavoOnWriteHeavyWorkload) {
+  const RaidGeometry geo = paper_geometry(20000);
+  PolicyConfig cfg;
+  cfg.ssd_pages = 4096;
+  cfg.delta_ratio_mean = 0.25;
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = 8192;
+  wcfg.total_requests = 60000;
+  wcfg.read_rate = 0.25;
+
+  std::uint64_t traffic[5] = {};
+  for (const PolicyKind kind : {PolicyKind::kWT, PolicyKind::kWA, PolicyKind::kLeavO,
+                                PolicyKind::kKdd}) {
+    auto policy = make_policy(kind, cfg, geo);
+    const Trace trace = generate_zipf_trace(wcfg);
+    const CacheStats s = run_counter_trace(*policy, trace, geo.data_pages());
+    traffic[static_cast<int>(kind)] = s.total_ssd_writes();
+  }
+  const std::uint64_t wt = traffic[static_cast<int>(PolicyKind::kWT)];
+  const std::uint64_t wa = traffic[static_cast<int>(PolicyKind::kWA)];
+  const std::uint64_t leavo = traffic[static_cast<int>(PolicyKind::kLeavO)];
+  const std::uint64_t kdd = traffic[static_cast<int>(PolicyKind::kKdd)];
+  EXPECT_LT(wa, kdd);    // WA allocates only on read misses
+  EXPECT_LT(kdd, wt);    // the headline claim
+  EXPECT_LT(wt, leavo);  // LeavO writes the most (Fig. 6)
+}
+
+}  // namespace
+}  // namespace kdd

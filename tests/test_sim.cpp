@@ -1,0 +1,191 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "policies/nocache.hpp"
+#include "policies/write_through.hpp"
+
+namespace kdd {
+namespace {
+
+RaidGeometry geo() { return paper_geometry(60000); }
+
+SimConfig fast_sim() {
+  SimConfig cfg = paper_sim_config(5);
+  cfg.seed = 5;
+  return cfg;
+}
+
+Trace single_request(bool is_read) {
+  Trace t;
+  t.records = {{0, 1234, 1, is_read}};
+  return t;
+}
+
+TEST(EventSim, SingleDiskReadLatencyMatchesServiceModel) {
+  NoCachePolicy policy(geo());
+  EventSimulator sim(fast_sim(), &policy);
+  const SimResult r = sim.run_open_loop(single_request(true));
+  EXPECT_EQ(r.requests, 1u);
+  // One random HDD access: a few ms to ~25 ms.
+  EXPECT_GT(r.latency.mean_us(), 800.0);
+  EXPECT_LT(r.latency.mean_us(), 26000.0);
+}
+
+TEST(EventSim, SmallWriteCostsTwoSerialDiskPhases) {
+  NoCachePolicy policy(geo());
+  EventSimulator sim(fast_sim(), &policy);
+  const SimResult write = sim.run_open_loop(single_request(false));
+  NoCachePolicy policy2(geo());
+  EventSimulator sim2(fast_sim(), &policy2);
+  const SimResult read = sim2.run_open_loop(single_request(true));
+  // RMW = read phase + write phase on disks: roughly twice a read.
+  EXPECT_GT(write.latency.mean_us(), read.latency.mean_us() * 1.4);
+}
+
+TEST(EventSim, CacheHitIsOrdersOfMagnitudeFaster) {
+  PolicyConfig cfg;
+  cfg.ssd_pages = 4096;
+  WriteThroughPolicy policy(cfg, geo());
+  EventSimulator sim(fast_sim(), &policy);
+  Trace t;
+  t.records = {{0, 42, 1, true},                      // miss, fills
+               {2 * kUsPerSec, 42, 1, true}};         // hit from SSD
+  const SimResult r = sim.run_open_loop(t);
+  EXPECT_EQ(r.requests, 2u);
+  // p50 is the hit (~0.1 ms), max is the miss (several ms).
+  EXPECT_LT(r.latency.percentile_us(0.5), 1000u);
+  EXPECT_GT(r.latency.max_us(), 2000u);
+}
+
+TEST(EventSim, QueueingDelaysBackToBackRequests) {
+  NoCachePolicy policy(geo());
+  EventSimulator sim(fast_sim(), &policy);
+  // 50 simultaneous reads of the same page: they serialise on one disk.
+  Trace t;
+  for (int i = 0; i < 50; ++i) t.records.push_back({0, 777, 1, true});
+  const SimResult r = sim.run_open_loop(t);
+  EXPECT_EQ(r.requests, 50u);
+  EXPECT_GT(r.latency.max_us(), r.latency.percentile_us(0.1) * 5);
+}
+
+TEST(EventSim, ParallelismAcrossDisksHelps) {
+  // Reads scattered over all disks finish much faster than the same number
+  // hammering one disk.
+  auto run = [&](bool scattered) {
+    NoCachePolicy policy(geo());
+    EventSimulator sim(fast_sim(), &policy);
+    Trace t;
+    for (Lba i = 0; i < 40; ++i) {
+      // Consecutive chunks land on different disks.
+      const Lba lba = scattered ? i * geo().chunk_pages : 0;
+      t.records.push_back({0, lba, 1, true});
+    }
+    return sim.run_open_loop(t).makespan_us;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(EventSim, ClosedLoopCompletesAllRequests) {
+  PolicyConfig cfg;
+  cfg.ssd_pages = 4096;
+  KddCache policy(cfg, geo());
+  EventSimulator sim(fast_sim(), &policy);
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = 8192;
+  wcfg.total_requests = 3000;
+  wcfg.read_rate = 0.5;
+  wcfg.array_pages = geo().data_pages();
+  ZipfWorkload workload(wcfg);
+  const SimResult r = sim.run_closed_loop(workload, 16);
+  EXPECT_EQ(r.requests, 3000u);
+  EXPECT_GT(r.makespan_us, 0u);
+}
+
+TEST(EventSim, MoreThreadsIncreaseLatencyButThroughput) {
+  auto run = [&](std::uint32_t threads) {
+    NoCachePolicy policy(geo());
+    EventSimulator sim(fast_sim(), &policy);
+    ZipfWorkloadConfig wcfg;
+    wcfg.working_set_pages = 8192;
+    wcfg.total_requests = 2000;
+    wcfg.read_rate = 1.0;
+    wcfg.array_pages = geo().data_pages();
+    ZipfWorkload workload(wcfg);
+    return sim.run_closed_loop(workload, threads);
+  };
+  const SimResult one = run(1);
+  const SimResult sixteen = run(16);
+  EXPECT_GT(sixteen.latency.mean_us(), one.latency.mean_us());
+  EXPECT_LT(sixteen.makespan_us, one.makespan_us);  // parallelism wins
+}
+
+TEST(EventSim, IdleGapTriggersBackgroundCleaning) {
+  PolicyConfig cfg;
+  cfg.ssd_pages = 4096;
+  cfg.clean_high_watermark = 0.95;  // never trigger by threshold
+  KddCache policy(cfg, geo());
+  SimConfig scfg = fast_sim();
+  scfg.idle_threshold_us = 100 * kUsPerMs;
+  EventSimulator sim(scfg, &policy);
+  Trace t;
+  // A write-hit burst, then a long idle gap, then one more access.
+  t.records.push_back({0, 50, 1, true});
+  t.records.push_back({1000, 50, 1, false});
+  t.records.push_back({10ull * kUsPerSec, 60, 1, true});
+  sim.run_open_loop(t);
+  EXPECT_EQ(policy.old_pages(), 0u);  // idle cleaner ran
+  EXPECT_EQ(policy.stale_groups(), 0u);
+}
+
+TEST(EventSim, KddBeatsWriteThroughOnWriteHeavyWorkload) {
+  // The qualitative content of Figures 9/10: deferring parity updates cuts
+  // response time on write-dominant workloads.
+  auto run = [&](PolicyKind kind) {
+    PolicyConfig cfg;
+    cfg.ssd_pages = 4096;
+    auto policy = make_policy(kind, cfg, geo());
+    EventSimulator sim(fast_sim(), policy.get());
+    ZipfWorkloadConfig wcfg;
+    wcfg.working_set_pages = 8192;
+    wcfg.total_requests = 4000;
+    wcfg.read_rate = 0.25;
+    wcfg.array_pages = geo().data_pages();
+    ZipfWorkload workload(wcfg);
+    return sim.run_closed_loop(workload, 16).mean_response_ms();
+  };
+  const double kdd = run(PolicyKind::kKdd);
+  const double wt = run(PolicyKind::kWT);
+  const double nossd = run(PolicyKind::kNossd);
+  EXPECT_LT(kdd, wt);
+  EXPECT_LT(kdd, nossd);
+}
+
+TEST(EventSim, BackgroundWorkIsNotChargedToRequests) {
+  // With an aggressive cleaning threshold, KDD cleans constantly; the
+  // background plan keeps those device ops out of request latency, so the
+  // mean must stay in the same ballpark as with cleaning disabled.
+  auto run = [&](double high_wm) {
+    PolicyConfig cfg;
+    cfg.ssd_pages = 2048;
+    cfg.clean_high_watermark = high_wm;
+    cfg.clean_low_watermark = high_wm / 2;
+    KddCache policy(cfg, geo());
+    EventSimulator sim(fast_sim(), &policy);
+    ZipfWorkloadConfig wcfg;
+    wcfg.working_set_pages = 4096;
+    wcfg.total_requests = 3000;
+    wcfg.read_rate = 0.25;
+    wcfg.array_pages = geo().data_pages();
+    ZipfWorkload workload(wcfg);
+    return sim.run_closed_loop(workload, 8).mean_response_ms();
+  };
+  const double aggressive = run(0.05);
+  const double lazy = run(0.90);
+  EXPECT_LT(aggressive, lazy * 3.0);
+}
+
+}  // namespace
+}  // namespace kdd

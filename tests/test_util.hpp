@@ -1,0 +1,43 @@
+// Shared helpers for the test suite: deterministic page content and a
+// reference model for read-your-writes verification against real arrays.
+#pragma once
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace kdd::testing {
+
+/// Deterministic incompressible page keyed by (tag, version).
+inline Page test_page(std::uint64_t tag, std::uint64_t version = 0) {
+  Rng rng(tag * 0x9e3779b97f4a7c15ull + version * 0xda942042e4dd58b5ull + 1);
+  Page p(kPageSize);
+  for (std::size_t i = 0; i < kPageSize; i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(p.data() + i, &v, 8);
+  }
+  return p;
+}
+
+/// Ground-truth contents of a block store, by page address.
+class ReferenceModel {
+ public:
+  void write(Lba lba, const Page& data) { pages_[lba] = data; }
+
+  /// Expected contents (zero page if never written).
+  Page read(Lba lba) const {
+    const auto it = pages_.find(lba);
+    return it == pages_.end() ? make_page() : it->second;
+  }
+
+  bool contains(Lba lba) const { return pages_.contains(lba); }
+  const std::unordered_map<Lba, Page>& pages() const { return pages_; }
+
+ private:
+  std::unordered_map<Lba, Page> pages_;
+};
+
+}  // namespace kdd::testing

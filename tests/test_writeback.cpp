@@ -1,0 +1,210 @@
+#include "policies/write_back.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "test_util.hpp"
+
+namespace kdd {
+namespace {
+
+using testing::ReferenceModel;
+using testing::test_page;
+
+RaidGeometry small_geo() {
+  RaidGeometry geo;
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 4;
+  geo.disk_pages = 256;
+  return geo;
+}
+
+PolicyConfig small_config() {
+  PolicyConfig cfg;
+  cfg.ssd_pages = 256;
+  cfg.ways = 8;
+  return cfg;
+}
+
+TEST(WriteBack, WritesAvoidRaidUntilFlush) {
+  WriteBackPolicy wb(small_config(), small_geo());
+  IoPlan plan;
+  wb.write(5, {}, &plan);
+  // A write-back write touches only the SSD.
+  for (const auto& phase : plan.phases()) {
+    for (const DeviceOp& op : phase) {
+      EXPECT_EQ(op.target, DeviceOp::Target::kSsd);
+    }
+  }
+  EXPECT_EQ(wb.dirty_pages(), 1u);
+  EXPECT_EQ(wb.stats().disk_writes, 0u);
+  wb.flush(nullptr);
+  EXPECT_EQ(wb.dirty_pages(), 0u);
+  EXPECT_GT(wb.stats().disk_writes, 0u);  // flushed with parity update
+}
+
+TEST(WriteBack, RepeatedWritesCoalesceOnFlush) {
+  WriteBackPolicy wb(small_config(), small_geo());
+  for (int i = 0; i < 50; ++i) wb.write(9, {}, nullptr);
+  EXPECT_EQ(wb.dirty_pages(), 1u);
+  wb.flush(nullptr);
+  // One RMW (2 writes), not 50.
+  EXPECT_EQ(wb.stats().disk_writes, 2u);
+}
+
+TEST(WriteBack, ReadYourWritesRealMode) {
+  const RaidGeometry geo = small_geo();
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = 256;
+  scfg.pages_per_block = 16;
+  SsdModel ssd(scfg);
+  WriteBackPolicy wb(small_config(), &array, &ssd);
+  ReferenceModel model;
+  Rng rng(1);
+  Page buf = make_page();
+  for (int i = 0; i < 3000; ++i) {
+    const Lba lba = rng.next_below(512);
+    if (rng.next_bool(0.5)) {
+      const Page data = test_page(lba, static_cast<std::uint64_t>(i));
+      ASSERT_EQ(wb.write(lba, data, nullptr), IoStatus::kOk);
+      model.write(lba, data);
+    } else {
+      ASSERT_EQ(wb.read(lba, buf, nullptr), IoStatus::kOk);
+      ASSERT_EQ(buf, model.read(lba)) << "lba " << lba;
+    }
+  }
+  wb.flush(nullptr);
+  EXPECT_TRUE(array.scrub().empty());
+  for (const auto& [lba, page] : model.pages()) {
+    ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+    ASSERT_EQ(buf, page);
+  }
+}
+
+TEST(WriteBack, SsdFailureLosesDirtyDataUnlikeKdd) {
+  // The reason the paper excludes write-back (Section IV-A1), demonstrated:
+  // the same workload through WB and KDD, then the cache device dies.
+  const RaidGeometry geo = small_geo();
+
+  // --- Write-back: dirty pages are lost. ---
+  {
+    RaidArray array(geo);
+    SsdConfig scfg;
+    scfg.logical_pages = 256;
+    SsdModel ssd(scfg);
+    PolicyConfig cfg = small_config();
+    cfg.clean_high_watermark = 0.9;  // keep plenty dirty
+    WriteBackPolicy wb(cfg, &array, &ssd);
+    ReferenceModel model;
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+      const Lba lba = rng.next_below(64);
+      const Page data = test_page(lba, static_cast<std::uint64_t>(i));
+      ASSERT_EQ(wb.write(lba, data, nullptr), IoStatus::kOk);
+      model.write(lba, data);
+    }
+    const std::uint64_t lost = wb.fail_ssd_and_count_lost();
+    EXPECT_GT(lost, 0u);
+    // At least one page on the array is stale relative to what was acked.
+    Page buf = make_page();
+    std::uint64_t mismatches = 0;
+    for (const auto& [lba, page] : model.pages()) {
+      ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+      if (buf != page) ++mismatches;
+    }
+    EXPECT_GT(mismatches, 0u) << "write-back should lose acked data";
+  }
+
+  // --- KDD: RPO = 0. ---
+  {
+    RaidArray array(geo);
+    SsdConfig scfg;
+    scfg.logical_pages = 256;
+    SsdModel ssd(scfg);
+    KddCache kdd(small_config(), &array, &ssd);
+    ReferenceModel model;
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+      const Lba lba = rng.next_below(64);
+      const Page data = test_page(lba, static_cast<std::uint64_t>(i));
+      ASSERT_EQ(kdd.write(lba, data, nullptr), IoStatus::kOk);
+      model.write(lba, data);
+    }
+    kdd.handle_ssd_failure();
+    Page buf = make_page();
+    for (const auto& [lba, page] : model.pages()) {
+      ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+      ASSERT_EQ(buf, page) << "KDD must not lose acked data";
+    }
+    EXPECT_TRUE(array.scrub().empty());
+  }
+}
+
+TEST(WriteBack, FullStripeWritebackSkipsParityReads) {
+  // Dirty all data members of one parity group, then flush: the stripe goes
+  // out as one full-stripe write (5 disk writes, 0 disk reads) instead of
+  // four RMWs (8 reads + 8 writes) — the Section I claim that caching turns
+  // small writes into full-stripe writes.
+  const RaidGeometry geo = small_geo();
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = 256;
+  SsdModel ssd(scfg);
+  WriteBackPolicy wb(small_config(), &array, &ssd);
+  const GroupId g = 5;
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    const Lba lba = array.layout().group_member(g, k);
+    ASSERT_EQ(wb.write(lba, test_page(lba), nullptr), IoStatus::kOk);
+  }
+  array.reset_counters();
+  wb.flush(nullptr);
+  EXPECT_EQ(wb.full_stripe_writebacks(), 1u);
+  EXPECT_EQ(array.total_disk_reads(), 0u);
+  EXPECT_EQ(array.total_disk_writes(), 5u);  // 4 data + parity
+  EXPECT_TRUE(array.scrub().empty());
+  Page buf = make_page();
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    const Lba lba = array.layout().group_member(g, k);
+    ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk);
+    EXPECT_EQ(buf, test_page(lba));
+  }
+}
+
+TEST(WriteBack, FullStripeWritebackWorksInCounterMode) {
+  const RaidGeometry geo = small_geo();
+  WriteBackPolicy wb(small_config(), geo);
+  const GroupId g = 7;
+  RaidLayout layout(geo);
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    ASSERT_EQ(wb.write(layout.group_member(g, k), {}, nullptr), IoStatus::kOk);
+  }
+  const std::uint64_t reads_before = wb.stats().disk_reads;
+  wb.flush(nullptr);
+  EXPECT_EQ(wb.full_stripe_writebacks(), 1u);
+  EXPECT_EQ(wb.stats().disk_reads, reads_before);  // no RMW reads
+}
+
+TEST(WriteBack, LowestDiskTrafficOfAllPolicies) {
+  const RaidGeometry geo = paper_geometry(8191);
+  ZipfWorkloadConfig wcfg;
+  wcfg.working_set_pages = 4096;
+  wcfg.total_requests = 30000;
+  wcfg.read_rate = 0.3;
+  std::uint64_t wb_disk = 0, wt_disk = 0;
+  for (const PolicyKind kind : {PolicyKind::kWB, PolicyKind::kWT}) {
+    PolicyConfig cfg;
+    cfg.ssd_pages = 4096;
+    auto policy = make_policy(kind, cfg, geo);
+    const Trace trace = generate_zipf_trace(wcfg);
+    const CacheStats s = run_counter_trace(*policy, trace, geo.data_pages());
+    if (kind == PolicyKind::kWB) wb_disk = s.disk_writes;
+    if (kind == PolicyKind::kWT) wt_disk = s.disk_writes;
+  }
+  EXPECT_LT(wb_disk, wt_disk / 2);  // coalescing pays off
+}
+
+}  // namespace
+}  // namespace kdd
