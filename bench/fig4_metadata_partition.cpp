@@ -6,9 +6,9 @@
 // fraction stays below 1.55/1.42/1.51/1.79 % for Fin1/Fin2/Hm0/Web0; smaller
 // partitions pay more log GC.
 //
-// Note: with 16-byte entries and a 0.90 GC threshold, partitions below
-// ~0.45 % cannot hold one live entry per cache slot and would livelock the
-// circular log, so the paper's 0.39 % point is clamped to the 0.45 % floor
+// Note: with 17-byte checksummed entries and a 0.90 GC threshold, partitions
+// below ~0.5 % cannot hold one live entry per cache slot and would livelock
+// the circular log, so the paper's 0.39 % point is clamped to the 0.5 % floor
 // (see plan_cache_layout).
 #include <cstdio>
 
@@ -46,7 +46,7 @@ int main() {
     }
     std::printf("--- %s ---\n", workload);
     table.print();
-    std::printf("(* clamped to the 0.45%% feasibility floor)\n\n");
+    std::printf("(* clamped to the 0.5%% feasibility floor)\n\n");
   }
   std::printf("Paper: <= 1.55%% / 1.42%% / 1.51%% / 1.79%% metadata share at 0.59%%.\n");
   return 0;

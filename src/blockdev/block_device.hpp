@@ -14,15 +14,34 @@
 
 namespace kdd {
 
+/// Outcome of a single page I/O. The fault taxonomy follows field failure
+/// data (docs/fault_model.md): beyond whole-device death, devices exhibit
+/// latent sector errors, transient hiccups and silent corruption — and each
+/// class wants a different recovery strategy in the layers above.
 enum class IoStatus {
   kOk,
-  kFailed,  ///< device has failed (failure injection) — no data transferred
+  kFailed,      ///< device has failed (whole-device loss) — no data transferred
+  kMediaError,  ///< latent sector error: this page is unreadable until rewritten
+  kTransient,   ///< transient error (timeout/UNIT ATTENTION): a retry may succeed
+  kCorrupt,     ///< data WAS transferred but failed an integrity check (bit rot)
 };
+
+inline const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "kOk";
+    case IoStatus::kFailed: return "kFailed";
+    case IoStatus::kMediaError: return "kMediaError";
+    case IoStatus::kTransient: return "kTransient";
+    case IoStatus::kCorrupt: return "kCorrupt";
+  }
+  return "?";
+}
 
 /// Per-device I/O counters (pages, not bytes).
 struct DeviceCounters {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t trims = 0;
 
   std::uint64_t total() const { return reads + writes; }
 };
@@ -42,13 +61,25 @@ class BlockDevice {
 
   /// Marks the logical page as unused (no-op by default; SSDs use this to
   /// avoid garbage-collecting dead cache pages).
-  virtual void trim(Lba page) { (void)page; }
+  virtual void trim(Lba page) {
+    (void)page;
+    ++counters_.trims;
+  }
+
+  /// Whole-device failure injection, uniform across all device types
+  /// (memory-, file- and flash-backed): once failed, all I/O returns kFailed
+  /// until repair() — or the type-specific replace(), which models swapping
+  /// in a spare — clears the state.
+  virtual void fail() { failed_ = true; }
+  virtual void repair() { failed_ = false; }
+  virtual bool failed() const { return failed_; }
 
   const DeviceCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
  protected:
   DeviceCounters counters_;
+  bool failed_ = false;
 };
 
 }  // namespace kdd

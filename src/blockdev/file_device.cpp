@@ -70,6 +70,32 @@ IoStatus FileBlockDevice::write(Lba page, std::span<const std::uint8_t> data) {
   return IoStatus::kOk;
 }
 
+void FileBlockDevice::trim(Lba page) {
+  KDD_CHECK(page < pages_);
+  ++counters_.trims;
+  if (failed_ || fd_ < 0) return;
+#ifdef FALLOC_FL_PUNCH_HOLE
+  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                  static_cast<off_t>(page * kPageSize),
+                  static_cast<off_t>(kPageSize)) == 0) {
+    return;
+  }
+#endif
+  // Fallback (filesystem without hole punching): explicit zero write so the
+  // trimmed page still reads back as zeros.
+  static const std::uint8_t zeros[kPageSize] = {};
+  std::size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pwrite(fd_, zeros + done, kPageSize - done,
+                               static_cast<off_t>(page * kPageSize + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
 bool FileBlockDevice::sync() {
   if (failed_ || fd_ < 0) return false;
   return ::fsync(fd_) == 0;

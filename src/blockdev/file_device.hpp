@@ -24,8 +24,10 @@ class FileBlockDevice final : public BlockDevice {
   IoStatus write(Lba page, std::span<const std::uint8_t> data) override;
   std::uint64_t num_pages() const override { return pages_; }
 
-  void fail() { failed_ = true; }
-  bool failed() const { return failed_; }
+  /// Deallocates the page's file extent (punch-hole where supported, else an
+  /// explicit zero write), so trimmed pages read back as zeros — the same
+  /// observable behaviour MemBlockDevice::replace gives a blank disk.
+  void trim(Lba page) override;
 
   /// Flushes dirty file pages to stable storage (fsync).
   bool sync();
@@ -36,7 +38,6 @@ class FileBlockDevice final : public BlockDevice {
   std::string path_;
   std::uint64_t pages_;
   int fd_ = -1;
-  bool failed_ = false;
 };
 
 }  // namespace kdd

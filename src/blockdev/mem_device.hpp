@@ -18,10 +18,6 @@ class MemBlockDevice final : public BlockDevice {
   IoStatus write(Lba page, std::span<const std::uint8_t> data) override;
   std::uint64_t num_pages() const override { return pages_; }
 
-  /// Failure injection: once failed, all I/O returns kFailed until repaired.
-  void fail() { failed_ = true; }
-  bool failed() const { return failed_; }
-
   /// Replaces the device with a blank one (models swapping in a spare disk).
   void replace();
 
@@ -32,7 +28,6 @@ class MemBlockDevice final : public BlockDevice {
  private:
   std::uint64_t pages_;
   std::vector<std::uint8_t> data_;
-  bool failed_ = false;
 };
 
 }  // namespace kdd

@@ -1,0 +1,47 @@
+// Bounded-retry helper for transient device errors.
+//
+// kTransient means "the op did not happen, but trying again may work"
+// (timeouts, UNIT ATTENTION-class hiccups). The helper retries with a
+// deterministic linear backoff and reports the total backoff so callers can
+// charge it into the event-sim clock via IoPlan::add_retry_delay — retries
+// cost simulated time, not just extra device ops.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "blockdev/block_device.hpp"
+#include "common/units.hpp"
+
+namespace kdd {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;  ///< 1 initial try + 3 retries
+  SimTime backoff_base_us = 100;   ///< attempt k waits k * base before retrying
+};
+
+struct RetryResult {
+  IoStatus status = IoStatus::kOk;
+  std::uint32_t attempts = 0;
+  SimTime backoff_us = 0;  ///< total simulated wait spent between attempts
+};
+
+/// Invokes `op` (an IoStatus() callable) up to policy.max_attempts times while
+/// it keeps returning kTransient. If the retry budget is exhausted the status
+/// is demoted to kFailed — a transient error that never clears is
+/// indistinguishable from a hard failure to the layer above.
+template <typename Fn>
+RetryResult with_retry(Fn&& op, const RetryPolicy& policy = {}) {
+  RetryResult r;
+  const std::uint32_t budget = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+    r.attempts = attempt;
+    r.status = op();
+    if (r.status != IoStatus::kTransient) return r;
+    if (attempt < budget) r.backoff_us += policy.backoff_base_us * attempt;
+  }
+  r.status = IoStatus::kFailed;
+  return r;
+}
+
+}  // namespace kdd

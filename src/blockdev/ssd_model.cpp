@@ -56,6 +56,7 @@ IoStatus SsdModel::write(Lba page, std::span<const std::uint8_t> data) {
 
 void SsdModel::trim(Lba page) {
   KDD_CHECK(page < config_.logical_pages);
+  ++counters_.trims;
   if (failed_) return;
   const std::uint64_t phys = l2p_[page];
   if (phys != kInvalid64) {

@@ -58,10 +58,9 @@ class SsdModel final : public BlockDevice {
   std::uint64_t num_pages() const override { return config_.logical_pages; }
   void trim(Lba page) override;
 
-  /// Failure injection (whole-device failure, as in Section III-E2).
-  void fail() { failed_ = true; }
-  bool failed() const { return failed_; }
   /// Swap in a fresh device: blank flash, zero wear, mappings cleared.
+  /// (Whole-device failure injection itself lives on BlockDevice::fail(),
+  /// as in Section III-E2.)
   void replace();
 
   SsdWearStats wear() const;
@@ -102,7 +101,6 @@ class SsdModel final : public BlockDevice {
   std::vector<BlockMeta> blocks_;
   std::vector<std::uint64_t> free_blocks_;   ///< LIFO pool of erased blocks
   std::uint64_t active_block_ = kInvalid64;
-  bool failed_ = false;
   bool in_gc_ = false;
 
   std::uint64_t host_page_writes_ = 0;

@@ -20,12 +20,28 @@ CacheSsd::CacheSsd(std::uint64_t metadata_pages, std::uint64_t cache_pages,
   KDD_CHECK(ssd_ != nullptr);
   KDD_CHECK(ssd_->num_pages() >= metadata_pages_ + cache_pages_);
   scratch_ = make_page();
+  FaultConfig fc;
+  fc.verify_reads = true;
+  fc.seed = 0xc2b2ae3d27d4eb4full;  // distinct from the per-disk RAID seeds
+  fault_dev_ = std::make_unique<FaultInjectingDevice>(ssd_, fc);
+}
+
+void CacheSsd::replace_device() {
+  KDD_CHECK(ssd_ != nullptr);
+  ssd_->replace();
+  // Checksums and latent sector errors belong to the old media.
+  fault_dev_->clear_faults();
 }
 
 IoStatus CacheSsd::do_read(Lba ssd_lba, std::span<std::uint8_t> out, IoPlan* plan) {
   ++reads_;
   if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kSsd, 0, ssd_lba, IoKind::kRead});
-  if (ssd_ && !out.empty()) return ssd_->read(ssd_lba, out);
+  if (ssd_ && !out.empty()) {
+    const RetryResult r = with_retry(
+        [&] { return fault_dev_->read(ssd_lba, out); }, retry_policy_);
+    if (plan) plan->add_retry_delay(r.backoff_us);
+    return r.status;
+  }
   return IoStatus::kOk;
 }
 
@@ -34,7 +50,12 @@ IoStatus CacheSsd::do_write(Lba ssd_lba, std::span<const std::uint8_t> data,
   if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kSsd, 0, ssd_lba, IoKind::kWrite});
   if (ssd_) {
     if (scratch_.empty()) scratch_ = make_page();
-    return ssd_->write(ssd_lba, data.empty() ? std::span<const std::uint8_t>(scratch_) : data);
+    const std::span<const std::uint8_t> payload =
+        data.empty() ? std::span<const std::uint8_t>(scratch_) : data;
+    const RetryResult r = with_retry(
+        [&] { return fault_dev_->write(ssd_lba, payload); }, retry_policy_);
+    if (plan) plan->add_retry_delay(r.backoff_us);
+    return r.status;
   }
   return IoStatus::kOk;
 }
@@ -54,7 +75,7 @@ IoStatus CacheSsd::write_data(std::uint64_t idx, SsdWriteKind kind,
 
 void CacheSsd::trim_data(std::uint64_t idx) {
   KDD_DCHECK(idx < cache_pages_);
-  if (ssd_) ssd_->trim(metadata_pages_ + idx);
+  if (ssd_) fault_dev_->trim(metadata_pages_ + idx);
 }
 
 IoStatus CacheSsd::read_metadata(std::uint64_t slot, std::span<std::uint8_t> out,

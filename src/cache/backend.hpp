@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
+#include "blockdev/fault_device.hpp"
+#include "blockdev/retry.hpp"
 #include "blockdev/ssd_model.hpp"
 #include "cache/cache_stats.hpp"
 #include "raid/io_plan.hpp"
@@ -40,6 +43,17 @@ class CacheSsd {
   std::uint64_t metadata_pages() const { return metadata_pages_; }
   bool real() const { return ssd_ != nullptr; }
   SsdModel* device() { return ssd_; }
+
+  /// Fault-injection decorator all prototype-mode I/O flows through
+  /// (null in counter mode). Latent sector errors, transients, torn writes
+  /// and bit rot on the cache device are injected here.
+  FaultInjectingDevice* faults() { return fault_dev_.get(); }
+
+  /// Swaps in a fresh cache device AND forgets the decorator's per-page fault
+  /// state (checksums/latent errors belong to the old media).
+  void replace_device();
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
   /// Reads cache data page `idx`; `out` may be empty in counter mode.
   IoStatus read_data(std::uint64_t idx, std::span<std::uint8_t> out, IoPlan* plan);
@@ -71,6 +85,8 @@ class CacheSsd {
   std::uint64_t metadata_pages_;
   std::uint64_t cache_pages_;
   SsdModel* ssd_ = nullptr;  ///< null in counter mode
+  std::unique_ptr<FaultInjectingDevice> fault_dev_;  ///< wraps ssd_ when real
+  RetryPolicy retry_policy_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_by_kind_[kNumSsdWriteKinds] = {};
   Page scratch_;  ///< zero page used when counter-mode callers pass no data

@@ -10,11 +10,6 @@ namespace {
 
 constexpr std::uint8_t state_code(PageState s) { return static_cast<std::uint8_t>(s); }
 
-PageState state_from_code(std::uint8_t code) {
-  KDD_CHECK(code <= static_cast<std::uint8_t>(PageState::kNewVersion));
-  return static_cast<PageState>(code);
-}
-
 void put_u32(std::uint8_t* p, std::uint32_t v) {
   p[0] = static_cast<std::uint8_t>(v);
   p[1] = static_cast<std::uint8_t>(v >> 8);
@@ -36,6 +31,36 @@ void put_u16(std::uint8_t* p, std::uint16_t v) {
 std::uint16_t get_u16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
                                     (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// CRC-8 (poly 0x07) over the 16-byte entry payload followed by the owning
+/// page's 8-byte sequence number. Folding the sequence in means an entry that
+/// survived from a previous lap of the circular log can never masquerade as
+/// part of the current page.
+std::uint8_t entry_crc8(const std::uint8_t* payload, std::uint64_t seq) {
+  std::uint8_t seq_bytes[8];
+  put_u64(seq_bytes, seq);
+  std::uint8_t crc = 0xff;
+  const auto feed = [&crc](std::uint8_t b) {
+    crc ^= b;
+    for (int k = 0; k < 8; ++k) {
+      const unsigned shifted = static_cast<unsigned>(crc) << 1;
+      crc = static_cast<std::uint8_t>((crc & 0x80u) ? shifted ^ 0x07u : shifted);
+    }
+  };
+  for (std::size_t i = 0; i < MetadataEntry::kPayloadSize; ++i) feed(payload[i]);
+  for (const std::uint8_t b : seq_bytes) feed(b);
+  return crc;
 }
 
 }  // namespace
@@ -72,7 +97,7 @@ void MetadataLog::commit_entries(std::vector<MetadataEntry> entries, IoPlan* pla
   const std::uint64_t seq = nvram_->log_tail;
   if (ssd_->real()) {
     Page page = make_page();
-    serialize_page(entries, page);
+    serialize_page(entries, seq, page);
     ssd_->write_metadata(seq % partition_pages(), page, plan);
   } else {
     ssd_->write_metadata(seq % partition_pages(), {}, plan);
@@ -124,10 +149,11 @@ void MetadataLog::collect_one_page(IoPlan* plan) {
 }
 
 void MetadataLog::serialize_page(const std::vector<MetadataEntry>& entries,
-                                 Page& out) const {
+                                 std::uint64_t seq, Page& out) const {
   KDD_CHECK(entries.size() <= kEntriesPerPage);
   put_u16(out.data(), static_cast<std::uint16_t>(entries.size()));
-  std::size_t off = 2;
+  put_u64(out.data() + 2, seq);
+  std::size_t off = kPageHeaderSize;
   for (const MetadataEntry& e : entries) {
     std::uint8_t* p = out.data() + off;
     KDD_CHECK(e.lba_raid <= 0xffffffffull || e.lba_raid == kInvalidLba);
@@ -138,32 +164,46 @@ void MetadataLog::serialize_page(const std::vector<MetadataEntry>& entries,
     put_u16(p + 12, static_cast<std::uint16_t>(e.dez_off |
                                                (std::uint16_t{state_code(e.state)} << 13)));
     put_u16(p + 14, e.dez_len);
+    p[MetadataEntry::kPayloadSize] = entry_crc8(p, seq);
     off += MetadataEntry::kSerializedSize;
   }
 }
 
-std::vector<MetadataEntry> MetadataLog::deserialize_page(
-    std::span<const std::uint8_t> in) {
+bool MetadataLog::deserialize_page(std::span<const std::uint8_t> in,
+                                   std::uint64_t expected_seq,
+                                   std::vector<MetadataEntry>& out,
+                                   std::size_t* dropped) {
   const std::uint16_t n = get_u16(in.data());
-  KDD_CHECK(n <= kEntriesPerPage);
-  std::vector<MetadataEntry> out;
-  out.reserve(n);
-  std::size_t off = 2;
+  const std::uint64_t seq = get_u64(in.data() + 2);
+  // A wrong sequence number means this physical slot still holds a previous
+  // lap of the circular log (the page write never reached the media); an
+  // impossible count means the header itself is damaged.
+  if (seq != expected_seq || n > kEntriesPerPage) return false;
+  out.reserve(out.size() + n);
+  std::size_t off = kPageHeaderSize;
   for (std::uint16_t i = 0; i < n; ++i) {
     const std::uint8_t* p = in.data() + off;
+    const std::uint16_t packed = get_u16(p + 12);
+    const std::uint8_t code = static_cast<std::uint8_t>(packed >> 13);
+    if (p[MetadataEntry::kPayloadSize] != entry_crc8(p, expected_seq) ||
+        code > static_cast<std::uint8_t>(PageState::kNewVersion)) {
+      // Torn tail: the page write persisted only a sector prefix. Entries are
+      // committed in order, so everything from here on is discarded.
+      *dropped += static_cast<std::size_t>(n - i);
+      break;
+    }
     MetadataEntry e;
     const std::uint32_t lba32 = get_u32(p);
     e.lba_raid = lba32 == 0xffffffffu ? kInvalidLba : lba32;
     e.daz_idx = get_u32(p + 4);
     e.dez_idx = get_u32(p + 8);
-    const std::uint16_t packed = get_u16(p + 12);
     e.dez_off = packed & 0x1fff;
-    e.state = state_from_code(static_cast<std::uint8_t>(packed >> 13));
+    e.state = static_cast<PageState>(code);
     e.dez_len = get_u16(p + 14);
     out.push_back(e);
     off += MetadataEntry::kSerializedSize;
   }
-  return out;
+  return true;
 }
 
 std::vector<MetadataEntry> MetadataLog::replay(IoPlan* plan) {
@@ -172,9 +212,12 @@ std::vector<MetadataEntry> MetadataLog::replay(IoPlan* plan) {
     if (ssd_->real()) {
       Page page = make_page();
       const IoStatus st = ssd_->read_metadata(seq % partition_pages(), page, plan);
-      KDD_CHECK(st == IoStatus::kOk);
-      const std::vector<MetadataEntry> entries = deserialize_page(page);
-      all.insert(all.end(), entries.begin(), entries.end());
+      std::size_t dropped = 0;
+      if (st != IoStatus::kOk || !deserialize_page(page, seq, all, &dropped)) {
+        ++bad_pages_skipped_;
+        continue;
+      }
+      torn_entries_dropped_ += dropped;
     } else {
       const auto it = mirror_.find(seq);
       if (it == mirror_.end()) continue;
@@ -190,8 +233,18 @@ void MetadataLog::rebuild_after_recovery(IoPlan* plan) {
     KDD_CHECK(ssd_->real());
     Page page = make_page();
     const IoStatus st = ssd_->read_metadata(seq % partition_pages(), page, plan);
-    KDD_CHECK(st == IoStatus::kOk);
-    std::vector<MetadataEntry> entries = deserialize_page(page);
+    std::vector<MetadataEntry> entries;
+    std::size_t dropped = 0;
+    if (st != IoStatus::kOk || !deserialize_page(page, seq, entries, &dropped)) {
+      // Unusable page: its entries are lost, but every mapping has either a
+      // newer committed copy, a newer NVRAM-buffered copy, or describes a
+      // cache page whose contents the post-recovery audit cross-checks
+      // against the RAID copy — so dropping the page is safe.
+      ++bad_pages_skipped_;
+      mirror_[seq] = {};
+      continue;
+    }
+    torn_entries_dropped_ += dropped;
     for (const MetadataEntry& e : entries) {
       sets_->slot(e.daz_idx).home_log_page = seq;
     }

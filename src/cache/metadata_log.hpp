@@ -36,6 +36,12 @@ class MetadataLog {
   std::uint64_t partition_pages() const { return ssd_->metadata_pages(); }
   std::uint64_t pages_written() const { return pages_written_; }
   std::uint64_t gc_passes() const { return gc_passes_; }
+  /// Log pages replay could not use at all (unreadable, wrong sequence
+  /// number, or corrupt header — e.g. a torn write that persisted nothing).
+  std::uint64_t bad_pages_skipped() const { return bad_pages_skipped_; }
+  /// Entries discarded from the torn tail of otherwise-valid pages (per-entry
+  /// CRC-8 mismatch: the page write persisted only a sector prefix).
+  std::uint64_t torn_entries_dropped() const { return torn_entries_dropped_; }
 
   /// Power-failure recovery: replays every committed page from head to tail
   /// and returns the entries in commit order (later entries override earlier
@@ -47,14 +53,25 @@ class MetadataLog {
   /// (used after recovery constructs a fresh MetadataLog).
   void rebuild_after_recovery(IoPlan* plan = nullptr);
 
+  /// Page layout: u16 entry count + u64 page sequence number, then
+  /// kSerializedSize-byte entries. The sequence number detects a page whose
+  /// write never reached the media (the slot still holds a previous lap);
+  /// the per-entry CRC-8 (over payload ‖ sequence) detects a torn tail.
+  static constexpr std::size_t kPageHeaderSize = 10;
   static constexpr std::size_t kEntriesPerPage =
-      (kPageSize - 2) / MetadataEntry::kSerializedSize;  // 2-byte count header
+      (kPageSize - kPageHeaderSize) / MetadataEntry::kSerializedSize;
 
  private:
   void commit_entries(std::vector<MetadataEntry> entries, IoPlan* plan);
   void collect_one_page(IoPlan* plan);
-  void serialize_page(const std::vector<MetadataEntry>& entries, Page& out) const;
-  static std::vector<MetadataEntry> deserialize_page(std::span<const std::uint8_t> in);
+  void serialize_page(const std::vector<MetadataEntry>& entries, std::uint64_t seq,
+                      Page& out) const;
+  /// Returns false when the whole page is unusable (header corrupt or
+  /// sequence mismatch). Otherwise appends the valid prefix of entries to
+  /// `out` and adds the number of torn-tail entries discarded to `*dropped`.
+  static bool deserialize_page(std::span<const std::uint8_t> in,
+                               std::uint64_t expected_seq,
+                               std::vector<MetadataEntry>& out, std::size_t* dropped);
 
   CacheSsd* ssd_;
   NvramState* nvram_;
@@ -63,6 +80,8 @@ class MetadataLog {
   bool in_gc_ = false;
   std::uint64_t pages_written_ = 0;
   std::uint64_t gc_passes_ = 0;
+  std::uint64_t bad_pages_skipped_ = 0;
+  std::uint64_t torn_entries_dropped_ = 0;
   /// In-memory mirror of committed pages, keyed by monotonic page counter.
   std::unordered_map<std::uint64_t, std::vector<MetadataEntry>> mirror_;
 };

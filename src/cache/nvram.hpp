@@ -90,7 +90,10 @@ class StagingBuffer {
   std::deque<StagedDelta> entries_;
 };
 
-/// One persistent mapping record (Figure 3). Serialises to 16 bytes.
+/// One persistent mapping record (Figure 3). Serialises to 17 bytes: a
+/// 16-byte payload plus a CRC-8 validity byte computed over the payload and
+/// the owning log page's sequence number, so a torn log-page write (partial
+/// sector prefix persisted) is detected and its tail discarded on replay.
 struct MetadataEntry {
   Lba lba_raid = kInvalidLba;
   std::uint32_t daz_idx = 0;  ///< cache slot of the DAZ page ("lba_daz")
@@ -99,7 +102,8 @@ struct MetadataEntry {
   std::uint16_t dez_off = 0;
   std::uint16_t dez_len = 0;
 
-  static constexpr std::size_t kSerializedSize = 16;
+  static constexpr std::size_t kPayloadSize = 16;
+  static constexpr std::size_t kSerializedSize = kPayloadSize + 1;  // + CRC-8
 };
 
 /// Mapping-table buffer in NVRAM, coalescing by DAZ slot (a newer entry for

@@ -24,10 +24,10 @@ CacheLayoutPlan plan_cache_layout(const PolicyConfig& config, bool needs_metadat
         config.metadata_fraction * static_cast<double>(config.ssd_pages) + 0.5);
     // The partition must be able to hold one live entry per cache slot with
     // GC slack, or the circular log livelocks (Section III-C notes the
-    // trade-off). With 16 B entries (255 per 4 KiB page) and a 0.9 GC
-    // threshold the floor works out to ~0.45 % of the SSD; smaller requested
-    // fractions are clamped up to it.
-    const std::uint64_t floor_pages = config.ssd_pages / 220 + 8;
+    // trade-off). With 17 B checksummed entries (240 per 4 KiB page) and a
+    // 0.9 GC threshold the floor works out to ~0.5 % of the SSD; smaller
+    // requested fractions are clamped up to it.
+    const std::uint64_t floor_pages = config.ssd_pages / 200 + 8;
     plan.metadata_pages = std::max<std::uint64_t>({by_fraction, floor_pages, 4});
   }
   KDD_CHECK(config.ssd_pages > plan.metadata_pages + config.ways);

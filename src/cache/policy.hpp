@@ -21,7 +21,7 @@ struct PolicyConfig {
   std::uint32_t ways = 16;           ///< set associativity
   double metadata_fraction = 0.0059; ///< of ssd_pages, for KDD/LeavO metadata
   std::size_t staging_buffer_bytes = kPageSize;
-  std::size_t metadata_buffer_entries = 255;  ///< one metadata page's worth
+  std::size_t metadata_buffer_entries = 240;  ///< one metadata page's worth
   double clean_high_watermark = 0.30;  ///< old+delta fraction triggering cleaning
   double clean_low_watermark = 0.15;   ///< cleaning stops below this
   double log_gc_threshold = 0.90;

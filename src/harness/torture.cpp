@@ -1,0 +1,213 @@
+#include "harness/torture.hpp"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/nvram.hpp"
+#include "common/rng.hpp"
+#include "compress/content.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "raid/raid_array.hpp"
+
+namespace kdd {
+
+TortureConfig::TortureConfig() {
+  geo.level = RaidLevel::kRaid5;
+  geo.num_disks = 5;
+  geo.chunk_pages = 4;
+  geo.disk_pages = 256;
+  ssd.logical_pages = 256;
+  ssd.pages_per_block = 16;
+  policy.ssd_pages = 256;
+  policy.ways = 8;
+}
+
+/// One seed's worth of stack. Everything but the KddCache survives a power
+/// cut (the array's platters, the SSD's flash, the NVRAM); the KddCache is
+/// the DRAM state that a real crash destroys, so recovery discards it and
+/// constructs a fresh instance with recover = true.
+struct TortureRunner::Rig {
+  explicit Rig(const TortureConfig& cfg)
+      : array(cfg.geo),
+        ssd(cfg.ssd),
+        nvram(cfg.policy.staging_buffer_bytes, cfg.policy.metadata_buffer_entries),
+        kdd(std::make_unique<KddCache>(cfg.policy, &array, &ssd, &nvram)) {}
+
+  FaultInjectingDevice* cache_faults() { return kdd->cache_ssd().faults(); }
+
+  RaidArray array;
+  SsdModel ssd;
+  NvramState nvram;
+  std::unique_ptr<KddCache> kdd;
+
+  /// Ground truth: contents of every page whose write was acknowledged kOk.
+  std::unordered_map<Lba, Page> model;
+
+  /// Shared power domain (null in the dry run).
+  std::shared_ptr<PowerRail> rail;
+
+  /// The write in flight when the rail dropped: the only request whose
+  /// outcome is allowed to be ambiguous (old or new contents, never a blend).
+  Lba in_flight_lba = kInvalidLba;
+  Page in_flight_new;
+};
+
+TortureRunner::TortureRunner(TortureConfig config) : config_(std::move(config)) {}
+
+int TortureRunner::run_workload(Rig& rig, std::uint64_t seed, int requests,
+                                TortureReport* report) {
+  static const Page kZeroPage = make_page();
+  const ContentGenerator gen(seed * 0x2545f4914f6cdd1dull + 7);
+  Rng rng(seed);
+  for (int i = 0; i < requests; ++i) {
+    if (rig.rail && !rig.rail->on()) return i;  // power already dead
+    const Lba lba = rng.next_below(config_.working_set);
+    if (rng.next_bool(config_.write_prob)) {
+      const auto it = rig.model.find(lba);
+      const Page data = it == rig.model.end()
+                            ? gen.base_page(lba)
+                            : gen.mutate(it->second, config_.content_locality, rng);
+      const IoStatus st = rig.kdd->write(lba, data, nullptr);
+      if (st == IoStatus::kOk) {
+        // Acknowledged: durable no matter what happens next (even if the
+        // power cut fired inside this very request, after the ack point).
+        rig.model[lba] = data;
+      } else if (rig.rail && !rig.rail->on()) {
+        rig.in_flight_lba = lba;
+        rig.in_flight_new = data;
+        if (report) report->in_flight_lba = lba;
+        return i + 1;
+      } else {
+        if (report) {
+          report->violations.push_back("write failed with power on at lba " +
+                                       std::to_string(lba));
+        }
+        return i + 1;
+      }
+    } else {
+      Page buf = make_page();
+      const IoStatus st = rig.kdd->read(lba, buf, nullptr);
+      if (st == IoStatus::kOk) {
+        const auto it = rig.model.find(lba);
+        const Page& expect = it == rig.model.end() ? kZeroPage : it->second;
+        if (buf != expect && report) {
+          report->violations.push_back("read returned wrong data at lba " +
+                                       std::to_string(lba));
+        }
+      } else if (rig.rail && !rig.rail->on()) {
+        // A read in flight at the cut: nothing was at risk, nothing to track.
+        return i + 1;
+      } else {
+        if (report) {
+          report->violations.push_back("read failed with power on at lba " +
+                                       std::to_string(lba));
+        }
+        return i + 1;
+      }
+    }
+  }
+  return requests;
+}
+
+void TortureRunner::verify_against_model(Rig& rig, TortureReport* report) {
+  report->pages_verified = 0;
+  Page buf = make_page();
+  for (auto& [lba, page] : rig.model) {
+    const IoStatus st = rig.kdd->read(lba, buf, nullptr);
+    if (st != IoStatus::kOk) {
+      report->violations.push_back("post-recovery read failed at lba " +
+                                   std::to_string(lba));
+      continue;
+    }
+    if (buf == page) {
+      ++report->pages_verified;
+      continue;
+    }
+    if (lba == rig.in_flight_lba && !rig.in_flight_new.empty() &&
+        buf == rig.in_flight_new) {
+      // The interrupted write turned out to be durable after all — atomicity
+      // allows that. Fold it into the truth for the rest of the cycle.
+      report->in_flight_read_back_new = true;
+      page = rig.in_flight_new;
+      ++report->pages_verified;
+      continue;
+    }
+    report->violations.push_back(
+        lba == rig.in_flight_lba
+            ? "in-flight page is a blend of old and new at lba " + std::to_string(lba)
+            : "integrity violation: acked data lost at lba " + std::to_string(lba));
+  }
+}
+
+TortureReport TortureRunner::run_case(std::uint64_t seed, std::uint64_t cut_after) {
+  TortureReport rep;
+  rep.seed = seed;
+  rep.cut_after = cut_after;
+
+  Rig rig(config_);
+  rig.rail = std::make_shared<PowerRail>();
+  rig.array.attach_rail(rig.rail);
+  rig.cache_faults()->attach_rail(rig.rail);
+  rig.cache_faults()->arm_power_cut(cut_after);
+
+  rep.requests_completed = run_workload(rig, seed, config_.requests, &rep);
+  rep.cut_fired = !rig.rail->on();
+  rep.cache_faults = rig.cache_faults()->fault_counters();
+  rep.domain_power_cut_rejects = rep.cache_faults.power_cut_rejects;
+  for (std::uint32_t d = 0; d < config_.geo.num_disks; ++d) {
+    rep.domain_power_cut_rejects +=
+        rig.array.faults(d).fault_counters().power_cut_rejects;
+  }
+
+  // Power restore. The DRAM image (KddCache, incl. its fault decorator's
+  // checksum map — a real controller's DIF state dies with it too) is lost;
+  // flash, platters and NVRAM survive. Recover from the persistent state.
+  rig.rail->restore();
+  rig.kdd = std::make_unique<KddCache>(config_.policy, &rig.array, &rig.ssd,
+                                       &rig.nvram, /*recover=*/true);
+  rig.cache_faults()->attach_rail(rig.rail);
+
+  verify_against_model(rig, &rep);
+
+  // The recovered stack must keep working: more traffic, then a full flush
+  // and a parity scrub that has to come back clean.
+  run_workload(rig, seed * 0x9e3779b97f4a7c15ull + 1,
+               config_.post_recovery_requests, &rep);
+  rig.kdd->flush(nullptr);
+  if (!rig.array.scrub().empty()) {
+    rep.violations.push_back("parity scrub found inconsistent groups after flush");
+  }
+  verify_against_model(rig, &rep);
+  return rep;
+}
+
+TortureReport TortureRunner::run_seed(std::uint64_t seed) {
+  // Dry run: same seeded workload, no faults, to learn the media-write count
+  // W of the cache device. It doubles as a sanity baseline — a violation here
+  // means the workload itself is broken, not the crash handling.
+  std::uint64_t total_writes = 0;
+  {
+    Rig dry(config_);
+    TortureReport baseline;
+    baseline.seed = seed;
+    run_workload(dry, seed, config_.requests, &baseline);
+    total_writes = dry.cache_faults()->media_writes();
+    if (!baseline.ok() || total_writes == 0) {
+      baseline.total_media_writes = total_writes;
+      if (total_writes == 0) {
+        baseline.violations.push_back("dry run produced no cache media writes");
+      }
+      return baseline;
+    }
+  }
+  // Uniform crash point over every media write of the run: DAZ admissions,
+  // delta commits, metadata appends and GC rewrites are all hit in proportion
+  // to their frequency.
+  Rng cut_rng(seed ^ 0xc3a5c85c97cb3127ull);
+  TortureReport rep = run_case(seed, cut_rng.next_below(total_writes));
+  rep.total_media_writes = total_writes;
+  return rep;
+}
+
+}  // namespace kdd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/check.hpp"
 
@@ -87,7 +88,10 @@ KddCache::DeltaInfo KddCache::compute_delta(std::uint32_t daz_idx,
   DeltaInfo info;
   if (ssd_.real()) {
     Page old_version = make_page();
-    ssd_.read_data(daz_idx, old_version, plan);
+    if (ssd_.read_data(daz_idx, old_version, plan) != IoStatus::kOk) {
+      info.ok = false;  // DAZ base unreadable: no delta can be formed
+      return info;
+    }
     info.blob = make_delta(old_version, data);
     info.packed = static_cast<std::uint32_t>(info.blob.packed_size());
   } else {
@@ -100,20 +104,21 @@ KddCache::DeltaInfo KddCache::compute_delta(std::uint32_t daz_idx,
   return info;
 }
 
-Delta KddCache::load_delta(const CacheSets::CacheSlot& slot, IoPlan* plan) {
+bool KddCache::load_delta(const CacheSets::CacheSlot& slot, Delta& out, IoPlan* plan) {
   KDD_CHECK(slot.state == PageState::kOld);
   if (slot.dez_idx == CacheSets::kStaged) {
     const StagedDelta* staged = nvram_->staging.find(slot.lba);
-    KDD_CHECK(staged != nullptr);
-    return staged->blob;
+    if (staged == nullptr) return false;
+    out = staged->blob;
+    return true;
   }
   Page dez_page = make_page();
-  ssd_.read_data(slot.dez_idx, dez_page, plan);
+  if (ssd_.read_data(slot.dez_idx, dez_page, plan) != IoStatus::kOk) return false;
   Delta d;
-  const bool ok = unpack_delta(dez_page, slot.dez_off, d);
-  KDD_CHECK(ok);
-  KDD_CHECK(d.packed_size() == slot.dez_len);
-  return d;
+  if (!unpack_delta(dez_page, slot.dez_off, d)) return false;
+  if (d.packed_size() != slot.dez_len) return false;
+  out = std::move(d);
+  return true;
 }
 
 void KddCache::charge_delta_read(const CacheSets::CacheSlot& slot, IoPlan* plan) {
@@ -164,24 +169,45 @@ void KddCache::commit_staging(IoPlan* plan) {
     }
     Page content;
     if (ssd_.real()) content = make_page();
+    std::vector<std::uint16_t> offs(end - pos);
     std::size_t off = 0;
     for (std::size_t i = pos; i < end; ++i) {
-      CacheSets::CacheSlot& daz = sets_.slot(all[i].daz_idx);
-      KDD_CHECK(daz.state == PageState::kOld && daz.lba == all[i].lba);
       if (ssd_.real()) {
         const std::size_t written = pack_delta(all[i].blob, content, off);
         KDD_CHECK(written == all[i].packed_size);
       }
-      daz.dez_idx = dez;
-      daz.dez_off = static_cast<std::uint16_t>(off);
-      daz.dez_len = static_cast<std::uint16_t>(all[i].packed_size);
+      offs[i - pos] = static_cast<std::uint16_t>(off);
       off += all[i].packed_size;
+    }
+    // Write the DEZ page *before* persisting any mapping to it: a torn or
+    // failed commit must never leave metadata pointing at garbage deltas.
+    const IoStatus wst =
+        ssd_.write_data(dez, SsdWriteKind::kDeltaCommit,
+                        ssd_.real() ? std::span<const std::uint8_t>(content)
+                                    : std::span<const std::uint8_t>{},
+                        plan);
+    if (wst != IoStatus::kOk) {
+      // DEZ page unwritable (media error / power loss): fold this batch's
+      // deltas into parity synchronously instead of mapping a bad page.
+      ++media_fallbacks_;
+      ssd_.trim_data(dez);
+      for (std::size_t i = pos; i < end; ++i) {
+        DeltaInfo info;
+        info.packed = all[i].packed_size;
+        info.blob = std::move(all[i].blob);
+        resolve_and_drop(all[i].daz_idx, &info, plan);
+      }
+      pos = end;
+      continue;
+    }
+    for (std::size_t i = pos; i < end; ++i) {
+      CacheSets::CacheSlot& daz = sets_.slot(all[i].daz_idx);
+      KDD_CHECK(daz.state == PageState::kOld && daz.lba == all[i].lba);
+      daz.dez_idx = dez;
+      daz.dez_off = offs[i - pos];
+      daz.dez_len = static_cast<std::uint16_t>(all[i].packed_size);
       add_map_entry(all[i].daz_idx, plan);
     }
-    ssd_.write_data(dez, SsdWriteKind::kDeltaCommit,
-                    ssd_.real() ? std::span<const std::uint8_t>(content)
-                                : std::span<const std::uint8_t>{},
-                    plan);
     sets_.set_state(dez, PageState::kDelta);
     sets_.slot(dez).valid_count = static_cast<std::uint16_t>(end - pos);
     ++dez_pages_;
@@ -269,14 +295,27 @@ void KddCache::drop_old_page(std::uint32_t daz_idx, IoPlan* plan) {
 void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override_delta,
                                 IoPlan* plan) {
   CacheSets::CacheSlot& slot = sets_.slot(daz_idx);
-  KDD_CHECK(slot.state == PageState::kOld);
+  // A heal_group triggered by an earlier page of the same batch may already
+  // have dropped this page — nothing left to resolve.
+  if (slot.state != PageState::kOld) return;
   const GroupId g = raid_.layout().group_of(slot.lba);
   const std::uint32_t index = raid_.layout().index_in_group(slot.lba);
 
   Page xor_diff;
   if (ssd_.real()) {
-    const Delta& d = override_delta ? override_delta->blob : load_delta(slot, plan);
-    xor_diff = delta_to_xor(d);
+    if (override_delta) {
+      xor_diff = delta_to_xor(override_delta->blob);
+    } else {
+      Delta d;
+      if (!load_delta(slot, d, plan)) {
+        // Delta lost to a cache-media fault: RMW would fold garbage into
+        // parity. Discard the group's deltas and reconstruct parity instead.
+        ++media_fallbacks_;
+        heal_group(g, plan);
+        return;
+      }
+      xor_diff = delta_to_xor(d);
+    }
   } else if (!override_delta) {
     charge_delta_read(slot, plan);
   }
@@ -286,7 +325,11 @@ void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override
   const IoStatus st =
       raid_.update_parity_rmw(g, std::span<const GroupDelta>(&gd, 1), plan,
                               /*finalize=*/last_in_group);
-  KDD_CHECK(st == IoStatus::kOk);
+  if (st != IoStatus::kOk) {
+    ++media_fallbacks_;
+    heal_group(g, plan);
+    return;
+  }
   // Always discard the superseded delta: for a staged one this erases it from
   // the NVRAM buffer (a no-op if the caller already drained staging), for a
   // DEZ-resident one it decrements the page's valid count.
@@ -313,6 +356,31 @@ void KddCache::note_group_repair(GroupId g) {
   }
 }
 
+void KddCache::heal_group(GroupId g, IoPlan* plan) {
+  // Every pending delta of `g` is discarded: the RAID copy of each data
+  // member is always current (writes reach the array via write_page_nopar
+  // *before* their delta is staged), so parity can be regenerated from the
+  // data members alone — no cache state is needed.
+  const RaidLayout& layout = raid_.layout();
+  const std::uint32_t set = set_for(layout.group_member(g, 0));
+  const std::uint32_t base = set * sets_.ways();
+  for (std::uint32_t w = 0; w < sets_.ways(); ++w) {
+    const std::uint32_t idx = base + w;
+    const CacheSets::CacheSlot& s = sets_.slot(idx);
+    if (s.state == PageState::kOld && layout.group_of(s.lba) == g) {
+      invalidate_delta(idx, plan);
+      drop_old_page(idx, plan);
+    }
+  }
+  ++groups_healed_;
+  if (raid_.group_stale(g)) {
+    // Best effort: if the reconstruct itself fails (e.g. power loss mid
+    // request) the group simply stays stale for recovery to resync.
+    std::vector<const Page*> none(layout.geometry().data_disks(), nullptr);
+    (void)raid_.update_parity_reconstruct_cached(g, none, plan);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Request paths
 // ---------------------------------------------------------------------------
@@ -326,14 +394,30 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
     CacheSets::CacheSlot& slot = sets_.slot(idx);
     if (slot.state == PageState::kClean) {
       sets_.lru_touch(idx);
-      return ssd_.read_data(idx, out, plan);
+      const IoStatus st = ssd_.read_data(idx, out, plan);
+      if (st == IoStatus::kOk) return IoStatus::kOk;
+      // Cache copy unreadable — a clean page is by definition a copy of the
+      // RAID contents, so serve from the array and retire the bad slot.
+      ++media_fallbacks_;
+      ssd_.trim_data(idx);
+      sets_.reset_slot(idx);
+      on_evict_slot(idx);
+      return raid_.read_page(lba, out, plan);
     }
     // Old page: combine the DAZ copy with its latest delta (Section III-A).
     KDD_DCHECK(slot.state == PageState::kOld);
     if (ssd_.real()) {
       Page daz = make_page();
-      ssd_.read_data(idx, daz, plan);
-      const Delta d = load_delta(slot, plan);
+      Delta d;
+      if (ssd_.read_data(idx, daz, plan) != IoStatus::kOk ||
+          !load_delta(slot, d, plan)) {
+        // DAZ base or delta unreadable. The array already holds the newest
+        // contents (write hits go to RAID before delta staging), so heal the
+        // group and serve from the array.
+        ++media_fallbacks_;
+        heal_group(raid_.layout().group_of(lba), plan);
+        return raid_.read_page(lba, out, plan);
+      }
       const Page current = apply_delta(daz, d);
       KDD_CHECK(out.size() == current.size());
       std::copy(current.begin(), current.end(), out.begin());
@@ -349,7 +433,13 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   if (!admit(lba)) return IoStatus::kOk;  // LARC: first touch stays ghost-only
   const std::uint32_t slot = alloc_daz_slot(set, plan);
   if (slot == CacheSets::kNone) return IoStatus::kOk;  // set pinned solid
-  ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan);
+  if (ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan) != IoStatus::kOk) {
+    // Admission failed (torn / failed cache write): never map a bad page.
+    ++media_fallbacks_;
+    ssd_.trim_data(slot);
+    sets_.reset_slot(slot);
+    return IoStatus::kOk;
+  }
   sets_.slot(slot).lba = lba;
   sets_.set_state(slot, PageState::kClean);
   add_map_entry(slot, plan);
@@ -369,7 +459,13 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     if (!admit(lba)) return IoStatus::kOk;
     const std::uint32_t slot = alloc_daz_slot(set, plan);
     if (slot == CacheSets::kNone) return IoStatus::kOk;
-    ssd_.write_data(slot, SsdWriteKind::kWriteAlloc, data, plan);
+    if (ssd_.write_data(slot, SsdWriteKind::kWriteAlloc, data, plan) !=
+        IoStatus::kOk) {
+      ++media_fallbacks_;
+      ssd_.trim_data(slot);
+      sets_.reset_slot(slot);
+      return IoStatus::kOk;  // the array already has the data
+    }
     sets_.slot(slot).lba = lba;
     sets_.set_state(slot, PageState::kClean);
     add_map_entry(slot, plan);
@@ -381,11 +477,32 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   DeltaInfo info = compute_delta(idx, data, plan);
 
   if (slot.state == PageState::kClean) {
+    if (!info.ok) {
+      // DAZ copy unreadable: rewrite it with the new contents (which also
+      // heals a latent sector error) and keep parity maintenance synchronous.
+      ++media_fallbacks_;
+      if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
+          IoStatus::kOk) {
+        sets_.lru_touch(idx);
+      } else {
+        ssd_.trim_data(idx);
+        sets_.reset_slot(idx);
+        on_evict_slot(idx);
+      }
+      return raid_.write_page(lba, data, plan);
+    }
     if (info.packed > kPageSize) {
       // Incompressible delta: no benefit in deferring — stay write-through.
       ++delta_fallbacks_;
-      ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan);
-      sets_.lru_touch(idx);
+      if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
+          IoStatus::kOk) {
+        sets_.lru_touch(idx);
+      } else {
+        ++media_fallbacks_;
+        ssd_.trim_data(idx);
+        sets_.reset_slot(idx);
+        on_evict_slot(idx);
+      }
       return raid_.write_page(lba, data, plan);
     }
     const IoStatus st = raid_.write_page_nopar(lba, data, plan);
@@ -398,6 +515,27 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   }
 
   KDD_DCHECK(slot.state == PageState::kOld);
+  if (!info.ok) {
+    // The old page's DAZ base is gone, so neither the previous delta chain
+    // nor a new delta can be trusted. Heal the whole group (the array holds
+    // the newest data), then write conventionally and re-admit clean.
+    ++media_fallbacks_;
+    heal_group(raid_.layout().group_of(lba), plan);
+    const IoStatus st = raid_.write_page(lba, data, plan);
+    if (st != IoStatus::kOk) return st;
+    const std::uint32_t ns = alloc_daz_slot(set, plan);
+    if (ns == CacheSets::kNone) return IoStatus::kOk;
+    if (ssd_.write_data(ns, SsdWriteKind::kWriteAlloc, data, plan) !=
+        IoStatus::kOk) {
+      ssd_.trim_data(ns);
+      sets_.reset_slot(ns);
+      return IoStatus::kOk;
+    }
+    sets_.slot(ns).lba = lba;
+    sets_.set_state(ns, PageState::kClean);
+    add_map_entry(ns, plan);
+    return IoStatus::kOk;
+  }
   // compute_delta() diffs against the DAZ copy, so `info` is exactly the
   // delta the stale parity needs — the previous delta is superseded.
   const IoStatus st = raid_.write_page_nopar(lba, data, plan);
@@ -427,7 +565,7 @@ void KddCache::maybe_clean(IoPlan* plan) {
   const auto low = static_cast<std::uint64_t>(
       config_.clean_low_watermark * static_cast<double>(sets_.pages()));
   while (old_pages_ + dez_pages_ > low && !dirty_groups_.empty()) {
-    clean_group(dirty_groups_.begin()->first, clean_plan);
+    if (!clean_group(dirty_groups_.begin()->first, clean_plan)) break;
   }
   ++stats_.cleanings;
   cleaning_ = false;
@@ -437,12 +575,12 @@ void KddCache::clean_all(IoPlan* plan) {
   if (cleaning_) return;
   cleaning_ = true;
   while (!dirty_groups_.empty()) {
-    clean_group(dirty_groups_.begin()->first, plan);
+    if (!clean_group(dirty_groups_.begin()->first, plan)) break;
   }
   cleaning_ = false;
 }
 
-void KddCache::clean_group(GroupId g, IoPlan* plan) {
+bool KddCache::clean_group(GroupId g, IoPlan* plan) {
   const RaidLayout& layout = raid_.layout();
   const std::uint32_t dd = layout.geometry().data_disks();
   const std::uint32_t set = set_for(layout.group_member(g, 0));
@@ -477,9 +615,18 @@ void KddCache::clean_group(GroupId g, IoPlan* plan) {
       const CacheSets::CacheSlot& ms = sets_.slot(member_slots[k]);
       if (real) {
         Page daz = make_page();
-        ssd_.read_data(member_slots[k], daz, plan);
+        Delta d;
+        if (ssd_.read_data(member_slots[k], daz, plan) != IoStatus::kOk) {
+          // Unreadable cache copy: leave ptrs[k] null so the array reads the
+          // member from disk (which is current for clean AND old pages).
+          ++media_fallbacks_;
+          continue;
+        }
         if (ms.state == PageState::kOld) {
-          const Delta d = load_delta(ms, plan);
+          if (!load_delta(ms, d, plan)) {
+            ++media_fallbacks_;
+            continue;
+          }
           data[k] = apply_delta(daz, d);
         } else {
           data[k] = std::move(daz);
@@ -491,7 +638,11 @@ void KddCache::clean_group(GroupId g, IoPlan* plan) {
       ptrs[k] = &data[k];
     }
     const IoStatus st = raid_.update_parity_reconstruct_cached(g, ptrs, plan);
-    KDD_CHECK(st == IoStatus::kOk);
+    if (st != IoStatus::kOk) {
+      ++media_fallbacks_;
+      heal_group(g, plan);
+      return !dirty_groups_.contains(g);
+    }
   } else {
     std::vector<Page> diffs(old_slots.size());
     std::vector<GroupDelta> deltas;
@@ -499,14 +650,25 @@ void KddCache::clean_group(GroupId g, IoPlan* plan) {
     for (std::size_t i = 0; i < old_slots.size(); ++i) {
       const CacheSets::CacheSlot& s = sets_.slot(old_slots[i]);
       if (real) {
-        diffs[i] = delta_to_xor(load_delta(s, plan));
+        Delta d;
+        if (!load_delta(s, d, plan)) {
+          // One lost delta poisons the whole RMW: heal the group instead.
+          ++media_fallbacks_;
+          heal_group(g, plan);
+          return !dirty_groups_.contains(g);
+        }
+        diffs[i] = delta_to_xor(d);
       } else {
         charge_delta_read(s, plan);
       }
       deltas.push_back({layout.index_in_group(s.lba), &diffs[i]});
     }
     const IoStatus st = raid_.update_parity_rmw(g, deltas, plan);
-    KDD_CHECK(st == IoStatus::kOk);
+    if (st != IoStatus::kOk) {
+      ++media_fallbacks_;
+      heal_group(g, plan);
+      return !dirty_groups_.contains(g);
+    }
   }
 
   // Reclaim (Section III-D): scheme 1 rewrites the combined page as clean;
@@ -516,11 +678,25 @@ void KddCache::clean_group(GroupId g, IoPlan* plan) {
     if (config_.reclaim_as_clean) {
       if (real) {
         Page daz = make_page();
-        ssd_.read_data(os, daz, plan);
-        const Delta d = load_delta(s, plan);
+        Delta d;
+        const bool readable = ssd_.read_data(os, daz, plan) == IoStatus::kOk &&
+                              load_delta(s, d, plan);
+        if (!readable) {
+          // Cannot rebuild the combined page: fall back to scheme-2 drop
+          // (parity for the group is already up to date at this point).
+          ++media_fallbacks_;
+          invalidate_delta(os, plan);
+          drop_old_page(os, plan);
+          continue;
+        }
         const Page current = apply_delta(daz, d);
         invalidate_delta(os, plan);
-        ssd_.write_data(os, SsdWriteKind::kWriteUpdate, current, plan);
+        if (ssd_.write_data(os, SsdWriteKind::kWriteUpdate, current, plan) !=
+            IoStatus::kOk) {
+          ++media_fallbacks_;
+          drop_old_page(os, plan);
+          continue;
+        }
       } else {
         ssd_.read_data(os, {}, plan);
         charge_delta_read(s, plan);
@@ -537,6 +713,7 @@ void KddCache::clean_group(GroupId g, IoPlan* plan) {
     }
   }
   ++stats_.groups_cleaned;
+  return !dirty_groups_.contains(g);
 }
 
 void KddCache::flush(IoPlan* plan) {
@@ -567,7 +744,7 @@ std::uint64_t KddCache::handle_ssd_failure() {
   // stale groups resynchronises the array without the cache.
   const std::uint64_t resynced = raid_.array()->resync_all_stale();
   // Swap in a fresh cache device and restart cold.
-  ssd_.device()->replace();
+  ssd_.replace_device();
   for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
     if (sets_.slot(i).state != PageState::kFree) sets_.reset_slot(i);
     sets_.slot(i).home_log_page = CacheSets::kNoHome;
@@ -703,15 +880,22 @@ void KddCache::recover() {
     ++dez.valid_count;
   }
   // 4. Overlay the staged deltas from NVRAM: they supersede any DEZ-resident
-  //    delta recorded in the log for the same page.
+  //    delta recorded in the log for the same page. A staged delta whose slot
+  //    does not match (the crash hit between NVRAM staging and the metadata
+  //    append) is an orphan: its page cannot be trusted, so the whole group
+  //    is healed from the RAID copy.
+  std::vector<Lba> orphaned;
   for (const StagedDelta& sd : nvram_->staging.entries()) {
     CacheSets::CacheSlot& s = sets_.slot(sd.daz_idx);
-    KDD_CHECK(s.lba == sd.lba);
+    if (s.lba != sd.lba ||
+        (s.state != PageState::kClean && s.state != PageState::kOld)) {
+      orphaned.push_back(sd.lba);
+      continue;
+    }
     if (s.state == PageState::kClean) {
       sets_.set_state(sd.daz_idx, PageState::kOld);
       note_old_transition(sd.daz_idx);
     } else {
-      KDD_CHECK(s.state == PageState::kOld);
       if (s.dez_idx != CacheSets::kStaged && s.dez_idx != CacheSets::kNone) {
         CacheSets::CacheSlot& dez = sets_.slot(s.dez_idx);
         KDD_CHECK(dez.state == PageState::kDelta && dez.valid_count > 0);
@@ -725,6 +909,58 @@ void KddCache::recover() {
     s.dez_idx = CacheSets::kStaged;
     s.dez_off = 0;
     s.dez_len = static_cast<std::uint16_t>(sd.packed_size);
+  }
+  for (const Lba lba : orphaned) {
+    ++media_fallbacks_;
+    nvram_->staging.erase(lba);
+    heal_group(raid_.layout().group_of(lba), nullptr);
+  }
+
+  // 5. Torn-page audit (prototype mode): a power cut can tear the very DAZ or
+  //    DEZ page whose write was in flight, and the device itself cannot
+  //    detect it. The RAID copy is the ground truth for every mapped page
+  //    (clean == the RAID contents; old + delta == the RAID contents), so
+  //    cross-check each slot and retire/heal whatever fails.
+  if (raid_.real()) {
+    Page truth = make_page();
+    Page daz = make_page();
+    std::unordered_set<GroupId> bad_groups;
+    for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
+      const CacheSets::CacheSlot& s = sets_.slot(i);
+      if (s.state == PageState::kClean) {
+        const bool good =
+            ssd_.read_data(i, daz, nullptr) == IoStatus::kOk &&
+            raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk &&
+            std::equal(daz.begin(), daz.end(), truth.begin());
+        if (!good) {
+          ++media_fallbacks_;
+          ssd_.trim_data(i);
+          sets_.reset_slot(i);
+          on_evict_slot(i);
+        }
+      } else if (s.state == PageState::kOld) {
+        Delta d;
+        bool good = ssd_.read_data(i, daz, nullptr) == IoStatus::kOk &&
+                    load_delta(s, d, nullptr) &&
+                    raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk;
+        if (good) {
+          const Page current = apply_delta(daz, d);
+          good = std::equal(current.begin(), current.end(), truth.begin());
+        }
+        if (!good) bad_groups.insert(raid_.layout().group_of(s.lba));
+      }
+    }
+    for (const GroupId g : bad_groups) {
+      ++media_fallbacks_;
+      heal_group(g, nullptr);
+    }
+
+    // 6. Any group left stale at the RAID layer without a matching pending
+    //    delta (its staged delta died with the in-flight request) is resynced
+    //    from data — the array's contents are always current.
+    for (const GroupId g : raid_.array()->stale_groups()) {
+      if (!dirty_groups_.contains(g)) raid_.array()->resync_group(g);
+    }
   }
 }
 

@@ -56,9 +56,18 @@ class IoPlan {
   /// Index of the next phase to add to (== current phase count).
   std::size_t next_phase() const { return phases_.size(); }
 
+  /// Charges simulated wall-clock spent in retry backoff (transient-error
+  /// absorption) to this plan. The event simulator adds it to the request's
+  /// completion time after the final phase.
+  void add_retry_delay(SimTime us) { retry_delay_us_ += us; }
+  SimTime retry_delay_us() const { return retry_delay_us_; }
+
   const std::vector<std::vector<DeviceOp>>& phases() const { return phases_; }
   bool empty() const { return phases_.empty(); }
-  void clear() { phases_.clear(); }
+  void clear() {
+    phases_.clear();
+    retry_delay_us_ = 0;
+  }
 
   std::size_t total_ops() const {
     std::size_t n = 0;
@@ -68,6 +77,7 @@ class IoPlan {
 
  private:
   std::vector<std::vector<DeviceOp>> phases_;
+  SimTime retry_delay_us_ = 0;
 };
 
 }  // namespace kdd

@@ -25,13 +25,47 @@ void solve_two_erasures(std::uint32_t i, std::uint32_t j, const Page& p_prime,
   xor_into(dj, di);
 }
 
+/// Page-level fault: the device is alive but this page's contents are gone
+/// (kMediaError) or untrustworthy (kCorrupt). Both are recoverable from
+/// parity; both must count as an erasure of that page.
+bool page_fault(IoStatus st) {
+  return st == IoStatus::kMediaError || st == IoStatus::kCorrupt;
+}
+
 }  // namespace
 
 RaidArray::RaidArray(const RaidGeometry& geo) : layout_(geo) {
+  media_.reserve(geo.num_disks);
   disks_.reserve(geo.num_disks);
   for (std::uint32_t i = 0; i < geo.num_disks; ++i) {
-    disks_.push_back(std::make_unique<MemBlockDevice>(geo.disk_pages));
+    media_.push_back(std::make_unique<MemBlockDevice>(geo.disk_pages));
+    FaultConfig fc;
+    // Checksum-verified reads by default: the array detects silent bit rot
+    // (kCorrupt) the way production arrays rely on T10-DIF / on-media ECC.
+    fc.verify_reads = true;
+    fc.seed = 0x9e3779b97f4a7c15ull + i;
+    disks_.push_back(std::make_unique<FaultInjectingDevice>(media_.back().get(), fc));
   }
+}
+
+void RaidArray::attach_rail(const std::shared_ptr<PowerRail>& rail) {
+  for (auto& d : disks_) d->attach_rail(rail);
+}
+
+IoStatus RaidArray::dev_read(std::uint32_t disk, Lba page,
+                             std::span<std::uint8_t> out, IoPlan* plan) {
+  const RetryResult r = with_retry(
+      [&] { return disks_[disk]->read(page, out); }, retry_policy_);
+  if (plan && r.backoff_us != 0) plan->add_retry_delay(r.backoff_us);
+  return r.status;
+}
+
+IoStatus RaidArray::dev_write(std::uint32_t disk, Lba page,
+                              std::span<const std::uint8_t> data, IoPlan* plan) {
+  const RetryResult r = with_retry(
+      [&] { return disks_[disk]->write(page, data); }, retry_policy_);
+  if (plan && r.backoff_us != 0) plan->add_retry_delay(r.backoff_us);
+  return r.status;
 }
 
 bool RaidArray::group_has_failed_member(GroupId g) const {
@@ -53,7 +87,13 @@ IoStatus RaidArray::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan
   const DiskAddr addr = layout_.map(lba);
   if (!disks_[addr.disk]->failed()) {
     if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
-    return disks_[addr.disk]->read(addr.page, out);
+    const IoStatus st = dev_read(addr.disk, addr.page, out, plan);
+    if (st == IoStatus::kOk) return st;
+    if (page_fault(st) && layout_.geometry().level != RaidLevel::kRaid0) {
+      return read_repair(lba, out, plan);
+    }
+    if (!disks_[addr.disk]->failed()) return st;
+    // Whole-device failure surfaced mid-read: fall through to degraded path.
   }
   // Degraded read: reconstruct from the surviving members of the group.
   const GroupId g = layout_.group_of(lba);
@@ -71,13 +111,43 @@ IoStatus RaidArray::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan
   return reconstruct_data(g, layout_.index_in_group(lba), out);
 }
 
+IoStatus RaidArray::read_repair(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  const GroupId g = layout_.group_of(lba);
+  // A stale group's parity cannot vouch for its data: reconstructing from it
+  // would fabricate plausible-but-wrong contents. Fail cleanly instead —
+  // never silent corruption.
+  if (stale_groups_.contains(g)) return IoStatus::kFailed;
+  const std::uint32_t idx = layout_.index_in_group(lba);
+  if (plan) {
+    const std::size_t phase = plan->next_phase();
+    const RaidGeometry& geo = layout_.geometry();
+    const std::uint64_t row = g / geo.chunk_pages;
+    const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
+    for (std::uint32_t d = 0; d < geo.num_disks; ++d) {
+      const DiskAddr addr = layout_.map(lba);
+      if (d != addr.disk && !disks_[d]->failed()) {
+        plan->add(phase, {DeviceOp::Target::kHdd, d, page, IoKind::kRead});
+      }
+    }
+  }
+  if (reconstruct_data(g, idx, out) != IoStatus::kOk) return IoStatus::kFailed;
+  // Write-back heals the latent sector error (and refreshes the checksum).
+  const DiskAddr addr = layout_.map(lba);
+  if (dev_write(addr.disk, addr.page, out, plan) == IoStatus::kOk) {
+    ++read_repairs_;
+    if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
+  }
+  // The data in `out` is valid regardless of the write-back outcome.
+  return IoStatus::kOk;
+}
+
 IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
                                      std::span<std::uint8_t> out) {
   const RaidGeometry& geo = layout_.geometry();
   if (geo.level == RaidLevel::kRaid0) return IoStatus::kFailed;
   const std::uint32_t dd = geo.data_disks();
 
-  // Gather survivors.
+  // Gather survivors. A page-level fault on a survivor is one more erasure.
   std::vector<std::uint32_t> lost_data;
   Page p_prime = make_page();  // running XOR of known data
   Page q_prime = make_page();  // running XOR of g^k * known data
@@ -89,7 +159,12 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
       lost_data.push_back(k);
       continue;
     }
-    if (disks_[a.disk]->read(a.page, buf) != IoStatus::kOk) return IoStatus::kFailed;
+    const IoStatus st = dev_read(a.disk, a.page, buf);
+    if (st != IoStatus::kOk) {
+      if (!page_fault(st)) return IoStatus::kFailed;
+      lost_data.push_back(k);
+      continue;
+    }
     xor_into(p_prime, buf);
     if (geo.level == RaidLevel::kRaid6) gf256::mul_acc(q_prime, gf256::exp(k), buf);
   }
@@ -101,14 +176,20 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
   if (lost_data.empty()) {
     // Single data erasure.
     if (p_alive) {
-      if (disks_[pa.disk]->read(pa.page, out) != IoStatus::kOk) return IoStatus::kFailed;
-      xor_into(out, p_prime);
-      return IoStatus::kOk;
+      Page p = make_page();
+      const IoStatus st = dev_read(pa.disk, pa.page, p);
+      if (st == IoStatus::kOk) {
+        xor_into(p, p_prime);
+        std::copy(p.begin(), p.end(), out.begin());
+        return IoStatus::kOk;
+      }
+      if (!page_fault(st)) return IoStatus::kFailed;
+      // P itself is unreadable: fall through to the Q path.
     }
     if (q_alive) {
       const DiskAddr qa = layout_.q_parity_addr(g);
       Page q = make_page();
-      if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (dev_read(qa.disk, qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
       xor_into(q, q_prime);  // q = g^idx * D_idx
       gf256::scale(q, gf256::inv(gf256::exp(idx)));
       std::copy(q.begin(), q.end(), out.begin());
@@ -121,8 +202,8 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
     const DiskAddr qa = layout_.q_parity_addr(g);
     Page p = make_page();
     Page q = make_page();
-    if (disks_[pa.disk]->read(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
-    if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_read(pa.disk, pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_read(qa.disk, qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
     xor_into(p, p_prime);
     xor_into(q, q_prime);
     Page di;
@@ -149,7 +230,7 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   const DiskAddr addr = layout_.map(lba);
   if (geo.level == RaidLevel::kRaid0) {
     if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
-    return disks_[addr.disk]->write(addr.page, data);
+    return dev_write(addr.disk, addr.page, data, plan);
   }
   const GroupId g = layout_.group_of(lba);
   if (group_has_failed_member(g)) return write_page_general(lba, data, plan);
@@ -159,8 +240,22 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   Page old_data = make_page();
   Page parity = make_page();
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
-  if (disks_[addr.disk]->read(addr.page, old_data) != IoStatus::kOk) return IoStatus::kFailed;
-  if (disks_[pa.disk]->read(pa.page, parity) != IoStatus::kOk) return IoStatus::kFailed;
+  {
+    // A page-level fault on either RMW read makes the delta uncomputable; the
+    // reconstruct-write path recomputes parity from the full group instead
+    // (and the data write below heals the faulty page). Only safe when the
+    // group is not stale: write_page_general clears staleness.
+    const IoStatus rd = dev_read(addr.disk, addr.page, old_data, plan);
+    if (rd != IoStatus::kOk) {
+      if (page_fault(rd) && !group_stale(g)) return write_page_general(lba, data, plan);
+      return IoStatus::kFailed;
+    }
+    const IoStatus rp = dev_read(pa.disk, pa.page, parity, plan);
+    if (rp != IoStatus::kOk) {
+      if (page_fault(rp) && !group_stale(g)) return write_page_general(lba, data, plan);
+      return IoStatus::kFailed;
+    }
+  }
   if (plan) {
     plan->add(read_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
     plan->add(read_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kRead});
@@ -170,8 +265,8 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   xor_into(parity, delta);
 
   const std::size_t write_phase = plan ? plan->next_phase() : 0;
-  if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
-  if (disks_[pa.disk]->write(pa.page, parity) != IoStatus::kOk) return IoStatus::kFailed;
+  if (dev_write(addr.disk, addr.page, data, plan) != IoStatus::kOk) return IoStatus::kFailed;
+  if (dev_write(pa.disk, pa.page, parity, plan) != IoStatus::kOk) return IoStatus::kFailed;
   if (plan) {
     plan->add(write_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
     plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
@@ -179,9 +274,13 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
     Page q = make_page();
-    if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    const IoStatus rq = dev_read(qa.disk, qa.page, q, plan);
+    if (rq != IoStatus::kOk) {
+      if (page_fault(rq) && !group_stale(g)) return write_page_general(lba, data, plan);
+      return IoStatus::kFailed;
+    }
     gf256::mul_acc(q, gf256::exp(layout_.index_in_group(lba)), delta);
-    if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) {
       plan->add(read_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kRead});
       plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
@@ -206,9 +305,15 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
     const Lba member_lba = layout_.group_member(g, k);
     const DiskAddr a = layout_.map(member_lba);
     if (!disks_[a.disk]->failed()) {
-      if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
-      if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
-    } else if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) {
+      const IoStatus st = dev_read(a.disk, a.page, members[k], plan);
+      if (st == IoStatus::kOk) {
+        if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
+        continue;
+      }
+      if (!page_fault(st)) return IoStatus::kFailed;
+      // Fall through: reconstruct the faulty member like a lost one.
+    }
+    if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) {
       return IoStatus::kFailed;
     }
   }
@@ -221,18 +326,18 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
   const std::size_t write_phase = plan ? plan->next_phase() : 0;
   const DiskAddr addr = layout_.map(lba);
   if (!disks_[addr.disk]->failed()) {
-    if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(addr.disk, addr.page, data, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
   }
   const DiskAddr pa = layout_.parity_addr(g);
   if (!disks_[pa.disk]->failed()) {
-    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
     if (!disks_[qa.disk]->failed()) {
-      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
     }
   }
@@ -253,19 +358,19 @@ IoStatus RaidArray::write_group(GroupId g, std::span<const Page> data, IoPlan* p
   for (std::uint32_t k = 0; k < data.size(); ++k) {
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
     if (disks_[a.disk]->failed()) continue;
-    if (disks_[a.disk]->write(a.page, data[k]) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(a.disk, a.page, data[k], plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kWrite});
   }
   if (geo.level != RaidLevel::kRaid0) {
     const DiskAddr pa = layout_.parity_addr(g);
     if (!disks_[pa.disk]->failed()) {
-      if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+      if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
     }
     if (geo.level == RaidLevel::kRaid6) {
       const DiskAddr qa = layout_.q_parity_addr(g);
       if (!disks_[qa.disk]->failed()) {
-        if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+        if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
         if (plan) plan->add(phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
       }
     }
@@ -283,7 +388,7 @@ IoStatus RaidArray::write_page_nopar(Lba lba, std::span<const std::uint8_t> data
     // The caller must flush parity and rebuild before deferring again.
     return IoStatus::kFailed;
   }
-  if (disks_[addr.disk]->write(addr.page, data) != IoStatus::kOk) return IoStatus::kFailed;
+  if (dev_write(addr.disk, addr.page, data, plan) != IoStatus::kOk) return IoStatus::kFailed;
   if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
   stale_groups_.insert(layout_.group_of(lba));
   return IoStatus::kOk;
@@ -298,9 +403,14 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
   std::size_t write_phase = read_phase + 1;
   if (!disks_[pa.disk]->failed()) {
     Page p = make_page();
-    if (disks_[pa.disk]->read(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    // A page fault on the stale parity read is surfaced to the caller
+    // (kMediaError/kCorrupt): an RMW cannot proceed without the old parity,
+    // but a reconstruct-style update (which the caller owns the data for)
+    // still can.
+    const IoStatus rp = dev_read(pa.disk, pa.page, p, plan);
+    if (rp != IoStatus::kOk) return rp;
     for (const GroupDelta& d : deltas) xor_into(p, *d.xor_diff);
-    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) {
       plan->add(read_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kRead});
       plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
@@ -310,9 +420,10 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
     const DiskAddr qa = layout_.q_parity_addr(g);
     if (!disks_[qa.disk]->failed()) {
       Page q = make_page();
-      if (disks_[qa.disk]->read(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      const IoStatus rq = dev_read(qa.disk, qa.page, q, plan);
+      if (rq != IoStatus::kOk) return rq;
       for (const GroupDelta& d : deltas) gf256::mul_acc(q, gf256::exp(d.index), *d.xor_diff);
-      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) {
         plan->add(read_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kRead});
         plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
@@ -343,8 +454,20 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
     if (disks_[a.disk]->failed()) {
       if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
     } else {
-      if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
-      if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
+      const IoStatus st = dev_read(a.disk, a.page, members[k], plan);
+      if (st == IoStatus::kOk) {
+        if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
+      } else if (page_fault(st)) {
+        // Recover the member from its peers; write-back heals the page so
+        // the recomputed parity matches what subsequent reads will see.
+        if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
+        if (dev_write(a.disk, a.page, members[k], plan) != IoStatus::kOk) {
+          return IoStatus::kFailed;
+        }
+        ++read_repairs_;
+      } else {
+        return IoStatus::kFailed;
+      }
     }
     any_read = true;
   }
@@ -355,13 +478,13 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
   const std::size_t write_phase = plan ? (any_read ? plan->next_phase() : read_phase) : 0;
   const DiskAddr pa = layout_.parity_addr(g);
   if (!disks_[pa.disk]->failed()) {
-    if (disks_[pa.disk]->write(pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
     if (!disks_[qa.disk]->failed()) {
-      if (disks_[qa.disk]->write(qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
+      if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
     }
   }
@@ -376,11 +499,13 @@ IoStatus RaidArray::resync_group(GroupId g, IoPlan* plan) {
 
 std::uint64_t RaidArray::resync_all_stale() {
   const std::vector<GroupId> groups = stale_groups();
+  std::uint64_t n = 0;
   for (GroupId g : groups) {
-    const IoStatus st = resync_group(g);
-    KDD_CHECK(st == IoStatus::kOk);
+    // A group that cannot be resynced (e.g. an unrecoverable double fault)
+    // stays stale rather than crashing the whole pass.
+    if (resync_group(g) == IoStatus::kOk) ++n;
   }
-  return groups.size();
+  return n;
 }
 
 std::vector<GroupId> RaidArray::stale_groups() const {
@@ -407,42 +532,48 @@ std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
   KDD_CHECK(geo.level != RaidLevel::kRaid0);
   KDD_CHECK(d < disks_.size());
   KDD_CHECK(disks_[d]->failed());
-  disks_[d]->replace();
+  media_[d]->replace();
+  // The media behind the decorator was swapped: stale checksums and latent
+  // sector errors belong to the old platters.
+  disks_[d]->clear_faults();
+  last_rebuild_lost_.clear();
 
   std::uint64_t stale_rebuilds = 0;
-  Page buf = make_page();
   for (GroupId g = 0; g < geo.num_groups(); ++g) {
     const std::uint64_t row = g / geo.chunk_pages;
     const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
-    if (layout_.parity_disk(row) == d) {
+    if (layout_.parity_disk(row) == d ||
+        (geo.level == RaidLevel::kRaid6 && layout_.q_parity_disk(row) == d)) {
       // Parity page: recompute from data — result reflects current data, so
-      // any pending staleness is resolved for this group.
+      // any pending staleness is resolved for this group (P case).
+      const bool is_q = layout_.parity_disk(row) != d;
       std::vector<Page> members(geo.data_disks(), make_page());
+      bool ok = true;
       for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
         const DiskAddr a = layout_.map(layout_.group_member(g, k));
-        if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return stale_rebuilds;
+        if (dev_read(a.disk, a.page, members[k]) != IoStatus::kOk) {
+          ok = false;
+          break;
+        }
       }
-      Page p = make_page();
-      compute_parity(members, p, nullptr);
-      disks_[d]->write(page, p);
-      stale_groups_.erase(g);
-      continue;
-    }
-    if (geo.level == RaidLevel::kRaid6 && layout_.q_parity_disk(row) == d) {
-      std::vector<Page> members(geo.data_disks(), make_page());
-      for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
-        const DiskAddr a = layout_.map(layout_.group_member(g, k));
-        if (disks_[a.disk]->read(a.page, members[k]) != IoStatus::kOk) return stale_rebuilds;
+      if (!ok) {
+        // Double fault: this group's parity cannot be rebuilt now. Mark the
+        // page unreadable so scrubs/reads see a clean error, and report it.
+        last_rebuild_lost_.push_back(g);
+        disks_[d]->inject_media_error(page);
+        continue;
       }
       Page p = make_page();
       Page q = make_page();
-      compute_parity(members, p, &q);
-      disks_[d]->write(page, q);
+      compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
+      dev_write(d, page, is_q ? q : p);
+      if (!is_q) stale_groups_.erase(g);
       continue;
     }
-    // Data page: reconstruct from parity. If the group's parity is stale the
-    // reconstructed contents are wrong — this is the vulnerability window the
-    // paper describes; callers (KDD) flush parity before rebuilding.
+    // Data page: reconstruct from the surviving members + parity. If the
+    // group's parity is stale the reconstructed contents are wrong — this is
+    // the vulnerability window the paper describes; callers (KDD) flush
+    // parity before rebuilding.
     std::uint32_t idx = 0;
     bool found = false;
     for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
@@ -454,20 +585,16 @@ std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
     }
     KDD_CHECK(found);
     if (stale_groups_.contains(g)) ++stale_rebuilds;
-    // Temporarily treat the new disk as the write target; reconstruct from
-    // the *other* devices (the blank page on the fresh disk must not be read).
-    const RaidGeometry& geo2 = layout_.geometry();
-    Page p_prime = make_page();
-    for (std::uint32_t k = 0; k < geo2.data_disks(); ++k) {
-      if (k == idx) continue;
-      const DiskAddr a = layout_.map(layout_.group_member(g, k));
-      if (disks_[a.disk]->read(a.page, buf) != IoStatus::kOk) return stale_rebuilds;
-      xor_into(p_prime, buf);
+    Page buf = make_page();
+    if (reconstruct_data(g, idx, buf) == IoStatus::kOk) {
+      dev_write(d, page, buf);
+    } else {
+      // Double fault (e.g. a latent sector error on a survivor): exactly this
+      // stripe is lost. Reads of the page will fail cleanly — and if the
+      // survivor's fault later heals, a read-repair can still recover it.
+      last_rebuild_lost_.push_back(g);
+      disks_[d]->inject_media_error(page);
     }
-    const DiskAddr pa = layout_.parity_addr(g);
-    if (disks_[pa.disk]->read(pa.page, buf) != IoStatus::kOk) return stale_rebuilds;
-    xor_into(p_prime, buf);
-    disks_[d]->write(page, p_prime);
   }
   return stale_rebuilds;
 }
@@ -482,43 +609,152 @@ std::vector<GroupId> RaidArray::scrub() const {
     Page q = make_page();
     for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
       const DiskAddr a = layout_.map(layout_.group_member(g, k));
-      const auto raw = disks_[a.disk]->raw_page(a.page);
+      const auto raw = media_[a.disk]->raw_page(a.page);
       xor_into(p, raw);
       if (geo.level == RaidLevel::kRaid6) gf256::mul_acc(q, gf256::exp(k), raw);
     }
     const DiskAddr pa = layout_.parity_addr(g);
-    bool ok = std::equal(p.begin(), p.end(), disks_[pa.disk]->raw_page(pa.page).begin());
+    bool ok = std::equal(p.begin(), p.end(), media_[pa.disk]->raw_page(pa.page).begin());
     if (ok && geo.level == RaidLevel::kRaid6) {
       const DiskAddr qa = layout_.q_parity_addr(g);
-      ok = std::equal(q.begin(), q.end(), disks_[qa.disk]->raw_page(qa.page).begin());
+      ok = std::equal(q.begin(), q.end(), media_[qa.disk]->raw_page(qa.page).begin());
     }
     if (!ok) bad.push_back(g);
   }
   return bad;
 }
 
+bool RaidArray::repair_group(GroupId g) {
+  const RaidGeometry& geo = layout_.geometry();
+  // Tier 0 — stale (deferred-parity) group: the data is authoritative by the
+  // KDD contract; recompute parity from it. Locating "the corrupt page" via
+  // parity would wrongly blame (and clobber) legitimately newer data.
+  if (stale_groups_.contains(g)) return resync_group(g) == IoStatus::kOk;
+
+  const std::uint32_t dd = geo.data_disks();
+  const DiskAddr pa = layout_.parity_addr(g);
+
+  // Tier 1 — ask the devices: checksum-verified reads localise the rot.
+  std::vector<std::uint32_t> bad_data;
+  bool p_bad = false;
+  bool q_bad = false;
+  Page buf = make_page();
+  for (std::uint32_t k = 0; k < dd; ++k) {
+    const DiskAddr a = layout_.map(layout_.group_member(g, k));
+    const IoStatus st = dev_read(a.disk, a.page, buf);
+    if (page_fault(st)) {
+      bad_data.push_back(k);
+    } else if (st != IoStatus::kOk) {
+      return false;
+    }
+  }
+  {
+    const IoStatus st = dev_read(pa.disk, pa.page, buf);
+    if (page_fault(st)) p_bad = true;
+    else if (st != IoStatus::kOk) return false;
+  }
+  if (geo.level == RaidLevel::kRaid6) {
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    const IoStatus st = dev_read(qa.disk, qa.page, buf);
+    if (page_fault(st)) q_bad = true;
+    else if (st != IoStatus::kOk) return false;
+  }
+  if (!bad_data.empty() || p_bad || q_bad) {
+    for (const std::uint32_t k : bad_data) {
+      Page fix = make_page();
+      if (reconstruct_data(g, k, fix) != IoStatus::kOk) return false;
+      const DiskAddr a = layout_.map(layout_.group_member(g, k));
+      if (dev_write(a.disk, a.page, fix) != IoStatus::kOk) return false;
+      ++read_repairs_;
+    }
+    // Recompute parity from the (now healed) data; this rewrites P and Q,
+    // curing p_bad/q_bad as a side effect.
+    return resync_group(g) == IoStatus::kOk;
+  }
+
+  // Tier 2 — RAID-6 syndrome location: even with no device-level detection,
+  // P and Q together pinpoint a single silently-rotted page. With error e on
+  // data member z: P_syn = e and Q_syn = g^z * e; P-only => P rotted;
+  // Q-only => Q rotted.
+  if (geo.level == RaidLevel::kRaid6) {
+    Page p_syn = make_page();
+    Page q_syn = make_page();
+    for (std::uint32_t k = 0; k < dd; ++k) {
+      const DiskAddr a = layout_.map(layout_.group_member(g, k));
+      const auto raw = media_[a.disk]->raw_page(a.page);
+      xor_into(p_syn, raw);
+      gf256::mul_acc(q_syn, gf256::exp(k), raw);
+    }
+    const DiskAddr qa = layout_.q_parity_addr(g);
+    xor_into(p_syn, media_[pa.disk]->raw_page(pa.page));
+    xor_into(q_syn, media_[qa.disk]->raw_page(qa.page));
+    const bool p_nz = !all_zero(p_syn);
+    const bool q_nz = !all_zero(q_syn);
+    if (p_nz && !q_nz) {
+      // P alone disagrees: P itself rotted. Fix P := P_disk ^ P_syn.
+      Page fix(media_[pa.disk]->raw_page(pa.page).begin(),
+               media_[pa.disk]->raw_page(pa.page).end());
+      xor_into(fix, p_syn);
+      return dev_write(pa.disk, pa.page, fix) == IoStatus::kOk;
+    }
+    if (!p_nz && q_nz) {
+      Page fix(media_[qa.disk]->raw_page(qa.page).begin(),
+               media_[qa.disk]->raw_page(qa.page).end());
+      xor_into(fix, q_syn);
+      return dev_write(qa.disk, qa.page, fix) == IoStatus::kOk;
+    }
+    if (p_nz && q_nz) {
+      for (std::uint32_t z = 0; z < dd; ++z) {
+        const std::uint8_t gz = gf256::exp(z);
+        bool match = true;
+        for (std::uint32_t i = 0; i < kPageSize; ++i) {
+          if (q_syn[i] != gf256::mul(gz, p_syn[i])) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        const DiskAddr a = layout_.map(layout_.group_member(g, z));
+        Page fix(media_[a.disk]->raw_page(a.page).begin(),
+                 media_[a.disk]->raw_page(a.page).end());
+        xor_into(fix, p_syn);  // undo the error e
+        if (dev_write(a.disk, a.page, fix) != IoStatus::kOk) return false;
+        ++read_repairs_;
+        return true;
+      }
+      // No single member explains both syndromes: multi-page rot. Fall
+      // through to the data-authoritative resync.
+    }
+  }
+
+  // Tier 3 — cannot localise (RAID-5 without a device-level verdict):
+  // recompute parity from data, the classical resync semantics.
+  return resync_group(g) == IoStatus::kOk;
+}
+
 std::uint64_t RaidArray::scrub_and_repair() {
   const std::vector<GroupId> bad = scrub();
+  std::uint64_t repaired = 0;
   for (const GroupId g : bad) {
-    const IoStatus st = resync_group(g);
-    KDD_CHECK(st == IoStatus::kOk);
+    if (repair_group(g)) ++repaired;
   }
-  return bad.size();
+  return repaired;
 }
 
 std::uint64_t RaidArray::total_disk_reads() const {
   std::uint64_t n = 0;
-  for (const auto& d : disks_) n += d->counters().reads;
+  for (const auto& d : media_) n += d->counters().reads;
   return n;
 }
 
 std::uint64_t RaidArray::total_disk_writes() const {
   std::uint64_t n = 0;
-  for (const auto& d : disks_) n += d->counters().writes;
+  for (const auto& d : media_) n += d->counters().writes;
   return n;
 }
 
 void RaidArray::reset_counters() {
+  for (auto& d : media_) d->reset_counters();
   for (auto& d : disks_) d->reset_counters();
 }
 

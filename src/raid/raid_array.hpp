@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "blockdev/fault_device.hpp"
 #include "blockdev/mem_device.hpp"
+#include "blockdev/retry.hpp"
 #include "common/bytes.hpp"
 #include "raid/io_plan.hpp"
 #include "raid/layout.hpp"
@@ -35,6 +37,11 @@ class RaidArray {
   // ---- Normal I/O path -----------------------------------------------------
 
   /// Reads one logical page; reconstructs from peers when its disk is down.
+  /// Self-healing (read-error repair): a page-level kMediaError / kCorrupt on
+  /// a healthy disk is recovered via parity reconstruction, and the
+  /// reconstructed contents are written back to heal the latent sector error.
+  /// Transient errors are absorbed by a bounded retry whose backoff is
+  /// charged to `plan`.
   IoStatus read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan = nullptr);
 
   /// Writes one logical page with full parity maintenance (RMW; degraded-safe).
@@ -92,7 +99,17 @@ class RaidArray {
   /// contents were rebuilt from *stale* parity (i.e. potentially corrupted —
   /// the vulnerability window the paper describes; KDD flushes parity before
   /// triggering rebuild precisely to keep this zero).
+  ///
+  /// Double faults (a media error on a survivor while rebuilding) do NOT
+  /// abort the rebuild: the affected groups are recorded in
+  /// last_rebuild_lost() and their unreconstructable page on the new disk is
+  /// marked as a media error, so subsequent reads fail cleanly with
+  /// kFailed/kMediaError instead of silently returning blank data.
   std::uint64_t rebuild_disk(std::uint32_t disk);
+
+  /// Parity groups the last rebuild_disk call could not fully reconstruct
+  /// (data-loss report for exactly the affected stripes).
+  const std::vector<GroupId>& last_rebuild_lost() const { return last_rebuild_lost_; }
 
   // ---- Verification ----------------------------------------------------------
 
@@ -101,25 +118,52 @@ class RaidArray {
   /// with deferred updates it must equal the stale set.
   std::vector<GroupId> scrub() const;
 
-  /// Scrubs and repairs: recomputes parity for every inconsistent group
-  /// (treating the data as authoritative). Returns the number repaired.
+  /// Scrubs and repairs every inconsistent group. Repair is located, not
+  /// blind: stale groups resync from data (the KDD deferred-parity contract);
+  /// otherwise checksum-verified reads (kCorrupt/kMediaError) localise the
+  /// rotted page, which is reconstructed from its peers and rewritten; for
+  /// RAID-6 the P/Q syndromes localise a single silent data corruption even
+  /// without device-level detection; only as a last resort is parity
+  /// recomputed from data. Returns the number repaired.
   std::uint64_t scrub_and_repair();
 
-  MemBlockDevice& disk(std::uint32_t i) { return *disks_[i]; }
-  const MemBlockDevice& disk(std::uint32_t i) const { return *disks_[i]; }
+  /// The raw media behind disk `i` (bypasses fault injection; tests/scrub).
+  MemBlockDevice& disk(std::uint32_t i) { return *media_[i]; }
+  const MemBlockDevice& disk(std::uint32_t i) const { return *media_[i]; }
 
-  /// Aggregate disk I/O counters (pages).
+  /// Per-disk fault-injection decorator (the device the array actually does
+  /// I/O through).
+  FaultInjectingDevice& faults(std::uint32_t i) { return *disks_[i]; }
+  const FaultInjectingDevice& faults(std::uint32_t i) const { return *disks_[i]; }
+
+  /// Attaches every disk to one shared power domain.
+  void attach_rail(const std::shared_ptr<PowerRail>& rail);
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Pages healed by read-error repair (reconstruct + write-back).
+  std::uint64_t read_repairs() const { return read_repairs_; }
+
+  /// Aggregate disk I/O counters (pages, at the media level).
   std::uint64_t total_disk_reads() const;
   std::uint64_t total_disk_writes() const;
   void reset_counters();
 
  private:
-  IoStatus read_member(GroupId g, std::uint32_t idx, std::span<std::uint8_t> out,
-                       IoPlan* plan, std::size_t phase);
-  /// Reads a physical page from `addr`, reconstructing if the disk is down.
-  IoStatus read_physical(DiskAddr addr, std::span<std::uint8_t> out);
+  /// Retry-wrapped device I/O; transient backoff is charged to `plan`.
+  IoStatus dev_read(std::uint32_t disk, Lba page, std::span<std::uint8_t> out,
+                    IoPlan* plan = nullptr);
+  IoStatus dev_write(std::uint32_t disk, Lba page, std::span<const std::uint8_t> data,
+                     IoPlan* plan = nullptr);
+  /// Recovers a partial read fault on a healthy disk: parity reconstruction
+  /// plus write-back of the reconstructed page (read-error repair).
+  IoStatus read_repair(Lba lba, std::span<std::uint8_t> out, IoPlan* plan);
+  /// Repairs one inconsistent group (see scrub_and_repair).
+  bool repair_group(GroupId g);
   /// Reconstructs the contents of the (lost) page at data index `idx` /
-  /// parity of group `g` from the surviving devices.
+  /// parity of group `g` from the surviving devices. Page-level faults on
+  /// survivors count as additional erasures (RAID-6 can absorb one).
   IoStatus reconstruct_data(GroupId g, std::uint32_t idx, std::span<std::uint8_t> out);
   /// Degraded / general write: reads the whole group (reconstructing lost
   /// members), applies the update, rewrites parity and the data page.
@@ -128,8 +172,12 @@ class RaidArray {
   bool group_has_failed_member(GroupId g) const;
 
   RaidLayout layout_;
-  std::vector<std::unique_ptr<MemBlockDevice>> disks_;
+  std::vector<std::unique_ptr<MemBlockDevice>> media_;          ///< raw disks
+  std::vector<std::unique_ptr<FaultInjectingDevice>> disks_;    ///< injectable I/O path
   std::unordered_set<GroupId> stale_groups_;
+  std::vector<GroupId> last_rebuild_lost_;
+  RetryPolicy retry_policy_;
+  std::uint64_t read_repairs_ = 0;
 };
 
 }  // namespace kdd

@@ -58,6 +58,12 @@ SimTime EventSimulator::issue_phase(InFlight& inflight, SimTime t) {
     }
     ++inflight.phase;
   }
+  // Transient-error retry backoff (blockdev/retry.hpp) is charged once, when
+  // the request's final phase completes: the request is not done until its
+  // retries have waited out their deterministic backoff.
+  if (inflight.phase >= inflight.plan.phases().size()) {
+    end += inflight.plan.retry_delay_us();
+  }
   return end;
 }
 

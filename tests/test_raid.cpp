@@ -347,5 +347,137 @@ TEST(RaidArray, CountersTrackDeviceIo) {
   EXPECT_EQ(array.total_disk_writes(), 2u);  // data + parity
 }
 
+// ---------------------------------------------------------------------------
+// Partial faults and self-healing
+// ---------------------------------------------------------------------------
+
+TEST(RaidFaults, ReadRepairHealsLatentSectorError) {
+  RaidArray array(geo5());
+  ReferenceModel model;
+  for (Lba lba = 0; lba < 32; ++lba) {
+    const Page data = test_page(lba);
+    ASSERT_EQ(array.write_page(lba, data), IoStatus::kOk);
+    model.write(lba, data);
+  }
+  // A latent sector error under lba 5: the disk is healthy, one page is not.
+  const Lba victim = 5;
+  const DiskAddr a = array.layout().map(victim);
+  array.faults(a.disk).inject_media_error(a.page);
+  ASSERT_EQ(array.faults(a.disk).pending_media_errors(), 1u);
+
+  // The read succeeds anyway (parity reconstruction) and the healing path is
+  // visible in the fault counters: the error was *hit* and then *healed* by
+  // the write-back — not just papered over.
+  Page buf = make_page();
+  ASSERT_EQ(array.read_page(victim, buf), IoStatus::kOk);
+  EXPECT_EQ(buf, model.read(victim));
+  EXPECT_EQ(array.read_repairs(), 1u);
+  const FaultCounters& fc = array.faults(a.disk).fault_counters();
+  EXPECT_EQ(fc.media_error_reads, 1u);
+  EXPECT_EQ(fc.media_errors_healed, 1u);
+  EXPECT_EQ(array.faults(a.disk).pending_media_errors(), 0u);
+
+  // Healed for real: the next read is served by the media, no second repair.
+  ASSERT_EQ(array.read_page(victim, buf), IoStatus::kOk);
+  EXPECT_EQ(buf, model.read(victim));
+  EXPECT_EQ(array.read_repairs(), 1u);
+  EXPECT_EQ(array.faults(a.disk).fault_counters().media_error_reads, 1u);
+  EXPECT_TRUE(array.scrub().empty());
+}
+
+TEST(RaidFaults, RebuildDoubleFaultReportsExactLostStripes) {
+  const RaidGeometry geo = geo5();
+  RaidArray array(geo);
+  ReferenceModel model;
+  for (Lba lba = 0; lba < array.data_pages(); ++lba) {
+    const Page data = test_page(lba);
+    ASSERT_EQ(array.write_page(lba, data), IoStatus::kOk);
+    model.write(lba, data);
+  }
+
+  const std::uint32_t failed = 2;
+  // Pick two stripes in different rows where disk 2 holds *data*, and plant a
+  // latent sector error on a survivor member of each — the classic
+  // double-fault during rebuild.
+  std::vector<GroupId> sabotaged;
+  std::vector<Lba> lost_lbas;
+  for (std::uint64_t row = 0; row < geo.stripe_rows() && sabotaged.size() < 2;
+       row += 3) {
+    if (array.layout().parity_disk(row) == failed) continue;
+    const GroupId g = row * geo.chunk_pages;  // first group of the row
+    std::uint32_t failed_idx = geo.data_disks();
+    for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+      if (array.layout().data_disk(row, k) == failed) failed_idx = k;
+    }
+    ASSERT_LT(failed_idx, geo.data_disks());
+    // Survivor member: any other data member of the group.
+    const std::uint32_t survivor_idx = failed_idx == 0 ? 1 : 0;
+    const Lba survivor_lba = array.layout().group_member(g, survivor_idx);
+    const DiskAddr s = array.layout().map(survivor_lba);
+    array.faults(s.disk).inject_media_error(s.page);
+    sabotaged.push_back(g);
+    lost_lbas.push_back(array.layout().group_member(g, failed_idx));
+    // The sabotaged survivor itself is also unreconstructable afterwards
+    // (its stripe now has two bad members), so it must fail cleanly too.
+    lost_lbas.push_back(survivor_lba);
+  }
+  ASSERT_EQ(sabotaged.size(), 2u);
+
+  array.fail_disk(failed);
+  EXPECT_EQ(array.rebuild_disk(failed), 0u);  // parity was fresh everywhere
+
+  // The data-loss report names exactly the sabotaged stripes — no more, no less.
+  std::set<GroupId> lost(array.last_rebuild_lost().begin(),
+                         array.last_rebuild_lost().end());
+  EXPECT_EQ(lost, std::set<GroupId>(sabotaged.begin(), sabotaged.end()));
+
+  // Reads of the unreconstructable pages fail *cleanly*: an error status,
+  // never fabricated bytes.
+  Page buf = make_page();
+  for (const Lba lba : lost_lbas) {
+    EXPECT_NE(array.read_page(lba, buf), IoStatus::kOk) << "lba " << lba;
+  }
+  // Every other page is intact.
+  std::set<Lba> lost_set(lost_lbas.begin(), lost_lbas.end());
+  for (Lba lba = 0; lba < array.data_pages(); ++lba) {
+    if (lost_set.contains(lba)) continue;
+    ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk) << "lba " << lba;
+    ASSERT_EQ(buf, model.read(lba)) << "lba " << lba;
+  }
+}
+
+TEST(RaidFaults, Raid6RebuildAbsorbsSurvivorMediaError) {
+  const RaidGeometry geo = geo6();
+  RaidArray array(geo);
+  ReferenceModel model;
+  for (Lba lba = 0; lba < array.data_pages(); ++lba) {
+    const Page data = test_page(lba, 1);
+    ASSERT_EQ(array.write_page(lba, data), IoStatus::kOk);
+    model.write(lba, data);
+  }
+  const std::uint32_t failed = 1;
+  // One survivor media error in a stripe where disk 1 holds data: RAID-6 has
+  // two erasures' worth of redundancy, so the rebuild must absorb it.
+  std::uint64_t row = 0;
+  while (array.layout().parity_disk(row) == failed ||
+         array.layout().q_parity_disk(row) == failed) {
+    ++row;
+  }
+  const GroupId g = row * geo.chunk_pages;
+  std::uint32_t failed_idx = geo.data_disks();
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    if (array.layout().data_disk(row, k) == failed) failed_idx = k;
+  }
+  ASSERT_LT(failed_idx, geo.data_disks());
+  const std::uint32_t survivor_idx = failed_idx == 0 ? 1 : 0;
+  const DiskAddr s = array.layout().map(array.layout().group_member(g, survivor_idx));
+  array.faults(s.disk).inject_media_error(s.page);
+
+  array.fail_disk(failed);
+  EXPECT_EQ(array.rebuild_disk(failed), 0u);
+  EXPECT_TRUE(array.last_rebuild_lost().empty());
+  verify_all(array, model);
+}
+
 }  // namespace
 }  // namespace kdd
