@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/sets.hpp"
+#include "common/kernels.hpp"
+#include "common/page_arena.hpp"
 #include "common/rng.hpp"
 #include "compress/content.hpp"
 #include "compress/delta.hpp"
@@ -93,6 +95,68 @@ void BM_Gf256MulAcc(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
 }
 BENCHMARK(BM_Gf256MulAcc);
+
+void BM_XorPages3(benchmark::State& state) {
+  const Page a = random_page(20);
+  const Page b = random_page(21);
+  Page dst(kPageSize);
+  for (auto _ : state) {
+    xor_pages3(dst, a, b);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_XorPages3);
+
+void BM_AllZero(benchmark::State& state) {
+  const Page z(kPageSize, 0);  // worst case: scans the whole page
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_zero(z));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_AllZero);
+
+void BM_Gf256MulAccScalarRef(benchmark::State& state) {
+  // The pre-dispatch log/exp loop, kept as the comparison baseline.
+  Page a = random_page(8);
+  const Page b = random_page(9);
+  for (auto _ : state) {
+    gf256::mul_acc_ref(a, 0x37, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_Gf256MulAccScalarRef);
+
+void BM_MakeDeltaInto(benchmark::State& state) {
+  // The allocation-free variant the write path actually uses.
+  const ContentGenerator gen(1);
+  Rng rng(4);
+  const Page base = gen.base_page(0);
+  const Page mutated = gen.mutate(base, 0.25, rng);
+  Delta d;
+  for (auto _ : state) {
+    make_delta_into(base, mutated, d);
+    benchmark::DoNotOptimize(d.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_MakeDeltaInto);
+
+void BM_ApplyDeltaInto(benchmark::State& state) {
+  const ContentGenerator gen(1);
+  Rng rng(5);
+  const Page base = gen.base_page(0);
+  const Delta d = make_delta(base, gen.mutate(base, 0.25, rng));
+  Page out(kPageSize);
+  for (auto _ : state) {
+    apply_delta_into(base, d, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_ApplyDeltaInto);
 
 void BM_Raid5SmallWrite(benchmark::State& state) {
   RaidGeometry geo;

@@ -1,5 +1,9 @@
 // Page buffers and XOR helpers. A Page is a fixed 4 KiB byte vector; the XOR
 // routines are the building block for RAID parity and delta generation.
+//
+// All bulk byte work routes through the runtime-dispatched kernels in
+// common/kernels.hpp (scalar / SSE2 / AVX2 / NEON tiers, selected once at
+// startup; see docs/performance.md).
 #pragma once
 
 #include <cstddef>
@@ -8,6 +12,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "common/units.hpp"
 
 namespace kdd {
@@ -20,29 +25,28 @@ inline Page make_page() { return Page(kPageSize, 0); }
 /// dst ^= src, element-wise. Sizes must match.
 inline void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src) {
   KDD_DCHECK(dst.size() == src.size());
-  // Word-at-a-time main loop; the compiler vectorises this readily.
-  std::size_t i = 0;
-  const std::size_t words = dst.size() / sizeof(std::uint64_t);
-  auto* d64 = reinterpret_cast<std::uint64_t*>(dst.data());
-  auto* s64 = reinterpret_cast<const std::uint64_t*>(src.data());
-  for (std::size_t w = 0; w < words; ++w) d64[w] ^= s64[w];
-  for (i = words * sizeof(std::uint64_t); i < dst.size(); ++i) dst[i] ^= src[i];
+  kern::xor_into(dst.data(), src.data(), dst.size());
+}
+
+/// dst = a XOR b, element-wise (fused copy+XOR: no intermediate buffer).
+/// Sizes must match; dst may alias a or b.
+inline void xor_pages3(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b) {
+  KDD_DCHECK(dst.size() == a.size() && a.size() == b.size());
+  kern::xor_pages3(dst.data(), a.data(), b.data(), dst.size());
 }
 
 /// Returns a XOR b.
 inline Page xor_pages(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
   KDD_DCHECK(a.size() == b.size());
-  Page out(a.begin(), a.end());
-  xor_into(out, b);
+  Page out(a.size());
+  kern::xor_pages3(out.data(), a.data(), b.data(), out.size());
   return out;
 }
 
-/// True if every byte is zero.
+/// True if every byte is zero (vectorised, early-exit).
 inline bool all_zero(std::span<const std::uint8_t> data) {
-  for (std::uint8_t b : data) {
-    if (b != 0) return false;
-  }
-  return true;
+  return kern::all_zero(data.data(), data.size());
 }
 
 }  // namespace kdd

@@ -1,0 +1,164 @@
+// Thread-local scratch-page pool for the data-path hot loops.
+//
+// Every RMW, delta and reconstruction step needs a handful of 4 KiB
+// temporaries. Allocating them as fresh std::vector Pages puts an
+// allocator round-trip (plus a zero-fill) on every single I/O; the arena
+// recycles page buffers per thread instead, so steady-state hot paths run
+// allocation-free.
+//
+// Lifetime rules (see docs/performance.md):
+//   * ScratchPage borrows from the calling thread's arena and returns the
+//     buffer on destruction — scope it like any local.
+//   * A borrowed page MUST NOT outlive the function that acquired it unless
+//     it is explicitly released (take()/std::move of the underlying Page),
+//     which permanently removes that buffer from the pool.
+//   * Buffers come back with unspecified contents; use ScratchPage(kZeroed)
+//     when accumulator semantics (make_page()) are needed.
+//   * Arena buffers are per-thread: never release a page into another
+//     thread's arena (ScratchPage makes this impossible by construction).
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace kdd {
+
+class PageArena {
+ public:
+  /// Max pages kept for reuse per thread; beyond this, released buffers are
+  /// simply freed. 64 pages = 256 KiB, enough for the deepest RAID-6
+  /// reconstruction paths with wide groups.
+  static constexpr std::size_t kMaxFree = 64;
+
+  /// Borrows a kPageSize buffer with unspecified contents.
+  Page acquire() {
+    if (!free_.empty()) {
+      Page p = std::move(free_.back());
+      free_.pop_back();
+      ++reused_;
+      return p;
+    }
+    ++allocated_;
+    return Page(kPageSize);
+  }
+
+  /// Borrows a zero-filled kPageSize buffer (make_page() semantics).
+  Page acquire_zeroed() {
+    Page p = acquire();
+    std::memset(p.data(), 0, p.size());
+    return p;
+  }
+
+  /// Returns a buffer to the pool. Wrong-sized or moved-from vectors are
+  /// dropped (the arena only recycles full pages).
+  void release(Page&& p) {
+    if (p.size() == kPageSize && free_.size() < kMaxFree) {
+      free_.push_back(std::move(p));
+    }
+  }
+
+  /// The calling thread's arena.
+  static PageArena& local() {
+    thread_local PageArena arena;
+    return arena;
+  }
+
+  std::uint64_t allocated() const { return allocated_; }
+  std::uint64_t reused() const { return reused_; }
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<Page> free_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+/// RAII borrow of one scratch page from the thread-local arena.
+class ScratchPage {
+ public:
+  enum Init { kUninit, kZeroed };
+
+  explicit ScratchPage(Init init = kUninit)
+      : page_(init == kZeroed ? PageArena::local().acquire_zeroed()
+                              : PageArena::local().acquire()) {}
+  ~ScratchPage() { PageArena::local().release(std::move(page_)); }
+
+  ScratchPage(const ScratchPage&) = delete;
+  ScratchPage& operator=(const ScratchPage&) = delete;
+
+  Page& operator*() { return page_; }
+  const Page& operator*() const { return page_; }
+  Page* operator->() { return &page_; }
+  const Page* operator->() const { return &page_; }
+  std::uint8_t* data() { return page_.data(); }
+  const std::uint8_t* data() const { return page_.data(); }
+  std::size_t size() const { return page_.size(); }
+
+  operator std::span<std::uint8_t>() { return page_; }
+  operator std::span<const std::uint8_t>() const { return page_; }
+
+  /// Permanently takes the buffer out of the arena (e.g. to std::move it
+  /// into a container). The pool simply loses one buffer.
+  Page take() { return std::move(page_); }
+
+ private:
+  Page page_;
+};
+
+/// RAII borrow of `count` scratch pages (vector-of-Page hot paths). All
+/// pages return to the thread-local arena on destruction, including on
+/// early-error returns.
+class ScratchPages {
+ public:
+  explicit ScratchPages(std::size_t count,
+                        ScratchPage::Init init = ScratchPage::kUninit) {
+    pages_.reserve(count);
+    PageArena& arena = PageArena::local();
+    for (std::size_t i = 0; i < count; ++i) {
+      pages_.push_back(init == ScratchPage::kZeroed ? arena.acquire_zeroed()
+                                                    : arena.acquire());
+    }
+  }
+  ~ScratchPages() {
+    PageArena& arena = PageArena::local();
+    for (Page& p : pages_) arena.release(std::move(p));
+  }
+
+  ScratchPages(const ScratchPages&) = delete;
+  ScratchPages& operator=(const ScratchPages&) = delete;
+
+  std::vector<Page>& vec() { return pages_; }
+  const std::vector<Page>& vec() const { return pages_; }
+  Page& operator[](std::size_t i) { return pages_[i]; }
+  const Page& operator[](std::size_t i) const { return pages_[i]; }
+  std::size_t size() const { return pages_.size(); }
+
+ private:
+  std::vector<Page> pages_;
+};
+
+/// Borrows `count` scratch pages into `out` (cleared first). Use with
+/// release_scratch_pages to keep vector-of-Page hot paths allocation-free
+/// after warm-up.
+inline void acquire_scratch_pages(std::vector<Page>& out, std::size_t count,
+                                  ScratchPage::Init init = ScratchPage::kUninit) {
+  out.clear();
+  out.reserve(count);
+  PageArena& arena = PageArena::local();
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(init == ScratchPage::kZeroed ? arena.acquire_zeroed()
+                                               : arena.acquire());
+  }
+}
+
+/// Returns every page of `pages` to the calling thread's arena.
+inline void release_scratch_pages(std::vector<Page>& pages) {
+  PageArena& arena = PageArena::local();
+  for (Page& p : pages) arena.release(std::move(p));
+  pages.clear();
+}
+
+}  // namespace kdd

@@ -3,37 +3,77 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/page_arena.hpp"
 #include "compress/lz.hpp"
 
 namespace kdd {
 
+void make_delta_into(std::span<const std::uint8_t> old_version,
+                     std::span<const std::uint8_t> new_version, Delta& out) {
+  KDD_CHECK(old_version.size() == new_version.size());
+  KDD_CHECK(old_version.size() == kPageSize);
+  // Scratch diff page from the thread-local arena; fused XOR (no copy+xor).
+  ScratchPage diff;
+  xor_pages3(diff, old_version, new_version);
+  lz_compress_into(*diff, out.payload);
+  out.raw = false;
+  if (out.payload.size() >= diff->size()) {
+    // Compression did not pay: store the raw XOR. assign() reuses the
+    // payload's existing capacity (one copy; the historical path copied the
+    // diff here *and again* on every delta_to_xor).
+    out.raw = true;
+    out.payload.assign(diff->begin(), diff->end());
+  }
+}
+
 Delta make_delta(std::span<const std::uint8_t> old_version,
                  std::span<const std::uint8_t> new_version) {
-  KDD_CHECK(old_version.size() == new_version.size());
-  const Page diff = xor_pages(old_version, new_version);
   Delta d;
-  d.payload = lz_compress(diff);
-  if (d.payload.size() >= diff.size()) {
-    d.raw = true;
-    d.payload.assign(diff.begin(), diff.end());
-  }
+  make_delta_into(old_version, new_version, d);
   return d;
 }
 
-Page delta_to_xor(const Delta& delta, std::size_t page_size) {
+bool delta_to_xor_into(const Delta& delta, std::span<std::uint8_t> out) {
   if (delta.raw) {
-    KDD_CHECK(delta.payload.size() == page_size);
-    return Page(delta.payload.begin(), delta.payload.end());
+    if (delta.payload.size() != out.size()) return false;
+    std::memcpy(out.data(), delta.payload.data(), out.size());
+    return true;
   }
-  Page diff;
-  const bool ok = lz_decompress(delta.payload, page_size, diff);
-  KDD_CHECK(ok);
+  return lz_decompress_into(delta.payload, out);
+}
+
+Page delta_to_xor(const Delta& delta, std::size_t page_size) {
+  Page diff(page_size);
+  KDD_CHECK(delta_to_xor_into(delta, diff));
   return diff;
 }
 
-Page apply_delta(std::span<const std::uint8_t> old_version, const Delta& delta) {
-  Page out = delta_to_xor(delta, old_version.size());
+const Page& delta_xor_view(const Delta& delta, Page& scratch) {
+  if (delta.raw) {
+    KDD_CHECK(delta.payload.size() == kPageSize);
+    return delta.payload;  // alias the stored raw XOR — zero copies
+  }
+  if (scratch.size() != kPageSize) scratch.resize(kPageSize);
+  KDD_CHECK(lz_decompress_into(delta.payload, scratch));
+  return scratch;
+}
+
+void apply_delta_into(std::span<const std::uint8_t> old_version, const Delta& delta,
+                      std::span<std::uint8_t> out) {
+  KDD_CHECK(old_version.size() == out.size());
+  if (delta.raw) {
+    // Raw XOR payload: fuse directly with the old version, no staging copy.
+    KDD_CHECK(delta.payload.size() == out.size());
+    xor_pages3(out, old_version, delta.payload);
+    return;
+  }
+  KDD_CHECK(lz_decompress_into(delta.payload, out));
   xor_into(out, old_version);
+}
+
+Page apply_delta(std::span<const std::uint8_t> old_version, const Delta& delta) {
+  Page out(old_version.size());
+  apply_delta_into(old_version, delta, out);
   return out;
 }
 

@@ -30,11 +30,35 @@ struct Delta {
 Delta make_delta(std::span<const std::uint8_t> old_version,
                  std::span<const std::uint8_t> new_version);
 
+/// Out-parameter variant of make_delta: reuses `out.payload`'s capacity and
+/// the thread-local scratch arena, so a warm hot path computes deltas with
+/// zero allocations. Page-sized inputs only.
+void make_delta_into(std::span<const std::uint8_t> old_version,
+                     std::span<const std::uint8_t> new_version, Delta& out);
+
 /// Reconstructs the new version: old XOR decompress(delta).
 Page apply_delta(std::span<const std::uint8_t> old_version, const Delta& delta);
 
+/// Allocation-free apply: writes the new version into caller-owned `out`
+/// (same size as `old_version`). Raw deltas are fused (out = old ^ payload)
+/// without any staging copy.
+void apply_delta_into(std::span<const std::uint8_t> old_version, const Delta& delta,
+                      std::span<std::uint8_t> out);
+
 /// Decompresses the delta into the raw XOR difference page.
 Page delta_to_xor(const Delta& delta, std::size_t page_size = kPageSize);
+
+/// Allocation-free variant: decompresses into caller-owned `out` (whose size
+/// is the page size). Returns false if the delta does not decode to exactly
+/// out.size() bytes.
+bool delta_to_xor_into(const Delta& delta, std::span<std::uint8_t> out);
+
+/// Zero-copy XOR view of a delta: for a raw delta the stored payload *is*
+/// the XOR page and is aliased directly (no copy); otherwise the payload is
+/// decompressed into `scratch` (resized to kPageSize if needed) and a
+/// reference to `scratch` is returned. The view is invalidated when `delta`
+/// or `scratch` is mutated or destroyed.
+const Page& delta_xor_view(const Delta& delta, Page& scratch);
 
 /// Serializes `delta` into `out` at `offset`; returns bytes written.
 /// Used when packing multiple deltas into one DEZ page.

@@ -24,10 +24,22 @@ namespace kdd {
 /// Compresses src. The output is self-delimiting given the original size.
 std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> src);
 
+/// Compresses src into `out` (cleared first), reusing its capacity. The
+/// hash-chain match finder is thread-local and reused across calls, so a
+/// warm steady state compresses without any allocation.
+void lz_compress_into(std::span<const std::uint8_t> src,
+                      std::vector<std::uint8_t>& out);
+
 /// Decompresses src into exactly expected_size bytes.
 /// Returns false (and leaves out unspecified) on malformed input.
 bool lz_decompress(std::span<const std::uint8_t> src, std::size_t expected_size,
                    std::vector<std::uint8_t>& out);
+
+/// Decompresses src into exactly out.size() bytes of caller-owned storage
+/// (no allocation). Returns false on malformed input; `out` contents are
+/// then unspecified.
+bool lz_decompress_into(std::span<const std::uint8_t> src,
+                        std::span<std::uint8_t> out);
 
 /// Upper bound on compressed size for a given input size.
 std::size_t lz_max_compressed_size(std::size_t src_size);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
 
 #include "common/check.hpp"
 #include "kdd/kdd_cache.hpp"
@@ -89,6 +92,109 @@ SimConfig paper_sim_config(std::uint32_t num_disks) {
   cfg.hdd = HddTimingConfig{};
   cfg.ssd = SsdTimingConfig{};
   return cfg;
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void fill_replay_page(Lba lba, std::uint64_t version, std::uint64_t seed,
+                      std::span<std::uint8_t> out) {
+  KDD_CHECK(out.size() == kPageSize);
+  std::uint64_t state = seed ^ (lba * 0x9e3779b97f4a7c15ull) ^
+                        (version * 0xda942042e4dd58b5ull);
+  constexpr std::size_t kWords = kPageSize / sizeof(std::uint64_t);
+  // High-entropy head quarter: every (lba, version) pair is unique even if
+  // the body collides. Low-entropy body: one stamp word repeated, so
+  // successive versions of a page produce LZ-friendly XOR deltas.
+  std::size_t i = 0;
+  for (; i < kWords / 4; ++i) {
+    const std::uint64_t w = splitmix64(state);
+    std::memcpy(out.data() + i * sizeof w, &w, sizeof w);
+  }
+  const std::uint64_t stamp = splitmix64(state);
+  for (; i < kWords; ++i) {
+    std::memcpy(out.data() + i * sizeof stamp, &stamp, sizeof stamp);
+  }
+}
+
+ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
+                                            const RaidLayout& layout,
+                                            const Trace& trace,
+                                            std::uint64_t array_pages,
+                                            unsigned threads, std::uint64_t seed) {
+  KDD_CHECK(array_pages > 0);
+  KDD_CHECK(threads > 0);
+  struct Op {
+    Lba lba = 0;
+    std::uint64_t version = 0;
+    bool is_read = false;
+  };
+  // Partition page requests by owning parity group. Each LBA belongs to
+  // exactly one group and therefore one thread, so per-LBA request order is
+  // trace order regardless of the interleaving across threads. Write
+  // versions are assigned during this single sequential pass, which makes
+  // the payload of every write independent of the thread count.
+  std::vector<std::vector<Op>> shards(threads);
+  std::unordered_map<Lba, std::uint64_t> versions;
+  std::uint64_t ops = 0;
+  for (const TraceRecord& rec : trace.records) {
+    for (std::uint32_t i = 0; i < rec.pages; ++i) {
+      const Lba lba = (rec.page + i) % array_pages;
+      const std::size_t shard =
+          static_cast<std::size_t>(layout.group_of(lba) % threads);
+      Op op;
+      op.lba = lba;
+      op.is_read = rec.is_read;
+      op.version = rec.is_read ? versions[lba] : ++versions[lba];
+      shards[shard].push_back(op);
+      ++ops;
+    }
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&cache, &shards, t, seed] {
+      Page buf = make_page();
+      for (const Op& op : shards[t]) {
+        if (op.is_read) {
+          KDD_CHECK(cache.read(op.lba, buf) == IoStatus::kOk);
+        } else {
+          fill_replay_page(op.lba, op.version, seed, buf);
+          KDD_CHECK(cache.write(op.lba, buf) == IoStatus::kOk);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  cache.flush();
+  ConcurrentReplayResult result;
+  result.stats = cache.stats();
+  result.front = cache.front_stats();
+  result.ops = ops;
+  return result;
+}
+
+std::uint64_t replay_readback_digest(ConcurrentCache& cache,
+                                     std::uint64_t array_pages) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  Page buf = make_page();
+  for (Lba lba = 0; lba < array_pages; ++lba) {
+    KDD_CHECK(cache.read(lba, buf) == IoStatus::kOk);
+    for (const std::uint8_t b : buf) {
+      h ^= b;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
 }
 
 double experiment_scale(double fallback) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/policy.hpp"
+#include "kdd/concurrent.hpp"
 #include "sim/event_sim.hpp"
 #include "trace/trace.hpp"
 
@@ -36,6 +37,43 @@ CacheStats run_counter_trace(CachePolicy& policy, const Trace& trace,
 
 /// Default timing configuration for the timed experiments (Section IV-B).
 SimConfig paper_sim_config(std::uint32_t num_disks);
+
+// ---------------------------------------------------------------------------
+// Multi-threaded deterministic replay (real-mode policies behind a
+// ConcurrentCache). Ops are partitioned across submitter threads by parity
+// group, so every LBA's requests stay in trace order on one thread and the
+// final *logical* state (array media + readback through the cache) is
+// byte-identical for any thread count. See docs/performance.md.
+// ---------------------------------------------------------------------------
+
+/// Deterministic page image for write number `version` to `lba` under
+/// `seed`. A low-entropy body with a high-entropy head: distinct versions
+/// differ everywhere, but version-to-version deltas stay LZ-compressible the
+/// way the paper's content-locality assumption expects.
+void fill_replay_page(Lba lba, std::uint64_t version, std::uint64_t seed,
+                      std::span<std::uint8_t> out);
+
+struct ConcurrentReplayResult {
+  CacheStats stats;                   ///< Policy stats after the final flush.
+  ConcurrentCache::FrontStats front;  ///< Facade front-door counters.
+  std::uint64_t ops = 0;              ///< Page-granular requests replayed.
+};
+
+/// Replays `trace` through `cache` using `threads` submitter threads. Write
+/// payloads come from fill_replay_page; multi-page records are split into
+/// page requests, each mapped to the thread owning its parity group
+/// (`layout.group_of(lba) % threads`). Flushes and returns final stats.
+ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
+                                            const RaidLayout& layout,
+                                            const Trace& trace,
+                                            std::uint64_t array_pages,
+                                            unsigned threads, std::uint64_t seed);
+
+/// FNV-1a digest of the logical address space [0, array_pages) read back
+/// through the cache — the "byte-identical final state" check for the
+/// multi-threaded replay mode.
+std::uint64_t replay_readback_digest(ConcurrentCache& cache,
+                                     std::uint64_t array_pages);
 
 /// Experiment scale factor: reads KDD_SCALE from the environment (default
 /// `fallback`), clamped to (0, 1]. Shrinks trace footprints/request counts

@@ -4,11 +4,24 @@
 
 namespace kdd {
 
+namespace {
+
+std::chrono::steady_clock::rep now_ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
 ConcurrentCache::ConcurrentCache(CachePolicy* policy,
                                  std::chrono::milliseconds idle_wakeup)
+    : ConcurrentCache(policy, nullptr, idle_wakeup) {}
+
+ConcurrentCache::ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
+                                 std::chrono::milliseconds idle_wakeup)
     : policy_(policy),
+      layout_(layout),
       idle_wakeup_(idle_wakeup),
-      last_request_(std::chrono::steady_clock::now()),
+      last_request_ns_(now_ticks()),
       cleaner_([this] { cleaner_main(); }) {
   KDD_CHECK(policy_ != nullptr);
 }
@@ -22,19 +35,35 @@ ConcurrentCache::~ConcurrentCache() {
   cleaner_.join();
 }
 
+std::size_t ConcurrentCache::stripe_of(Lba lba) const {
+  const std::uint64_t key = layout_ ? layout_->group_of(lba) : lba;
+  // kStripes is a power of two; mix the key a little so striped workloads
+  // whose groups advance in lockstep still spread across stripes.
+  return static_cast<std::size_t>((key ^ (key >> 7)) & (kStripes - 1));
+}
+
+void ConcurrentCache::touch_idle_clock() {
+  last_request_ns_.store(now_ticks(), std::memory_order_relaxed);
+}
+
 IoStatus ConcurrentCache::read(Lba lba, std::span<std::uint8_t> out) {
+  const std::lock_guard<std::mutex> stripe(stripe_mu_[stripe_of(lba)]);
+  front_reads_.fetch_add(1, std::memory_order_relaxed);
+  touch_idle_clock();
   const std::lock_guard<std::mutex> lock(mu_);
-  last_request_ = std::chrono::steady_clock::now();
   return policy_->read(lba, out, nullptr);
 }
 
 IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
+  const std::lock_guard<std::mutex> stripe(stripe_mu_[stripe_of(lba)]);
+  front_writes_.fetch_add(1, std::memory_order_relaxed);
+  touch_idle_clock();
   const std::lock_guard<std::mutex> lock(mu_);
-  last_request_ = std::chrono::steady_clock::now();
   return policy_->write(lba, data, nullptr);
 }
 
 void ConcurrentCache::flush() {
+  touch_idle_clock();
   const std::lock_guard<std::mutex> lock(mu_);
   policy_->flush(nullptr);
 }
@@ -49,7 +78,12 @@ void ConcurrentCache::cleaner_main() {
   while (!stop_) {
     cv_.wait_for(lock, idle_wakeup_);
     if (stop_) break;
-    const auto idle_for = std::chrono::steady_clock::now() - last_request_;
+    // The idle clock is an atomic outside mu_, so a request that is blocked
+    // on mu_ right now has already stamped it and defers this pass.
+    const auto last = std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            last_request_ns_.load(std::memory_order_relaxed)));
+    const auto idle_for = std::chrono::steady_clock::now() - last;
     if (idle_for >= idle_wakeup_) {
       policy_->on_idle(nullptr);
       cleaner_passes_.fetch_add(1);

@@ -7,31 +7,65 @@
 // wakes periodically and, when the cache has been idle long enough, runs the
 // policy's on_idle() pass (parity updates, reclamation).
 //
-// Locking model: one mutex serialises policy access — the policies'
-// in-memory structures (primary map, NVRAM buffers) are small compared to
-// device I/O, so a single lock matches how the kernel prototype serialises
-// its map updates. The cleaner competes for the same lock and therefore
-// never races request processing.
+// Locking model (two tiers, see docs/performance.md):
+//   * A striped front lock keyed by parity group. Requests to the same
+//     stripe serialise against each other *before* touching the policy, so
+//     per-group request order is a total order no matter how many submitter
+//     threads there are — the property the deterministic multi-threaded
+//     replay mode relies on. Requests to different stripes only contend on
+//     the inner policy mutex.
+//   * One inner mutex serialises policy access — the policies' in-memory
+//     structures (primary map, NVRAM buffers) are small compared to device
+//     I/O, so a single lock matches how the kernel prototype serialises its
+//     map updates. The cleaner competes for the same lock and therefore
+//     never races request processing.
+//
+// Lock order is always stripe -> policy; the cleaner takes only the policy
+// mutex. The idle clock and the front-door counters are atomics so neither
+// the hot request path nor stats() takes any extra lock for them.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 
 #include "cache/policy.hpp"
+#include "raid/layout.hpp"
 
 namespace kdd {
 
 class ConcurrentCache {
  public:
+  /// Number of front-lock stripes. Parity groups hash onto stripes, so two
+  /// requests contend at the front door only when their groups collide
+  /// modulo this. Power of two; 16 comfortably exceeds the core counts the
+  /// replay harness drives.
+  static constexpr std::size_t kStripes = 16;
+
+  /// Lock-free front-door counters (sampled without the policy mutex).
+  struct FrontStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+
   /// `policy` is not owned and must outlive the facade. `idle_wakeup` is the
   /// cleaner's polling period; an idle pass runs when no request arrived for
-  /// one full period.
+  /// one full period. Without a layout, stripes are keyed by raw LBA.
   explicit ConcurrentCache(CachePolicy* policy,
                            std::chrono::milliseconds idle_wakeup =
                                std::chrono::milliseconds(50));
+
+  /// Stripe-aware overload: front locks are keyed by `layout->group_of(lba)`
+  /// so every request touching one parity group funnels through one stripe.
+  /// `layout` is not owned and must outlive the facade.
+  ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
+                  std::chrono::milliseconds idle_wakeup =
+                      std::chrono::milliseconds(50));
+
   ~ConcurrentCache();
 
   ConcurrentCache(const ConcurrentCache&) = delete;
@@ -45,18 +79,38 @@ class ConcurrentCache {
 
   CacheStats stats() const;
 
+  /// Front-door request counters (atomic reads; never blocks on the policy).
+  FrontStats front_stats() const {
+    return {front_reads_.load(std::memory_order_relaxed),
+            front_writes_.load(std::memory_order_relaxed)};
+  }
+
   /// Number of idle passes the cleaner has run.
   std::uint64_t cleaner_passes() const { return cleaner_passes_.load(); }
 
  private:
   void cleaner_main();
+  std::size_t stripe_of(Lba lba) const;
+  void touch_idle_clock();
 
   CachePolicy* policy_;
+  const RaidLayout* layout_;  // may be null: stripe by raw LBA
   const std::chrono::milliseconds idle_wakeup_;
+
+  // Front tier: striped by parity group.
+  std::array<std::mutex, kStripes> stripe_mu_;
+  std::atomic<std::uint64_t> front_reads_{0};
+  std::atomic<std::uint64_t> front_writes_{0};
+
+  // Inner tier: the policy mutex (also guards stop_ for the cleaner's cv).
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
-  std::chrono::steady_clock::time_point last_request_;
+
+  // Idle clock: steady_clock ticks of the most recent request, updated with
+  // a relaxed store on the hot path and read by the cleaner without mu_.
+  std::atomic<std::chrono::steady_clock::rep> last_request_ns_;
+
   std::atomic<std::uint64_t> cleaner_passes_{0};
   std::thread cleaner_;  // last member: starts after everything is ready
 };

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/page_arena.hpp"
 
 namespace kdd {
 
@@ -87,12 +88,12 @@ KddCache::DeltaInfo KddCache::compute_delta(std::uint32_t daz_idx,
                                             IoPlan* plan) {
   DeltaInfo info;
   if (ssd_.real()) {
-    Page old_version = make_page();
-    if (ssd_.read_data(daz_idx, old_version, plan) != IoStatus::kOk) {
+    ScratchPage old_version;  // arena scratch: no allocation once warm
+    if (ssd_.read_data(daz_idx, *old_version, plan) != IoStatus::kOk) {
       info.ok = false;  // DAZ base unreadable: no delta can be formed
       return info;
     }
-    info.blob = make_delta(old_version, data);
+    make_delta_into(*old_version, data, info.blob);
     info.packed = static_cast<std::uint32_t>(info.blob.packed_size());
   } else {
     ssd_.read_data(daz_idx, {}, plan);  // the prototype reads the old version
@@ -112,10 +113,10 @@ bool KddCache::load_delta(const CacheSets::CacheSlot& slot, Delta& out, IoPlan* 
     out = staged->blob;
     return true;
   }
-  Page dez_page = make_page();
-  if (ssd_.read_data(slot.dez_idx, dez_page, plan) != IoStatus::kOk) return false;
+  ScratchPage dez_page;
+  if (ssd_.read_data(slot.dez_idx, *dez_page, plan) != IoStatus::kOk) return false;
   Delta d;
-  if (!unpack_delta(dez_page, slot.dez_off, d)) return false;
+  if (!unpack_delta(*dez_page, slot.dez_off, d)) return false;
   if (d.packed_size() != slot.dez_len) return false;
   out = std::move(d);
   return true;
@@ -167,8 +168,11 @@ void KddCache::commit_staging(IoPlan* plan) {
       }
       return;
     }
-    Page content;
-    if (ssd_.real()) content = make_page();
+    // DEZ page image. Zeroed so the gaps between packed deltas never leak
+    // stale scratch bytes to media; arena-backed so committing is
+    // allocation-free once warm.
+    ScratchPage content_sp(ScratchPage::kZeroed);
+    Page& content = *content_sp;
     std::vector<std::uint16_t> offs(end - pos);
     std::size_t off = 0;
     for (std::size_t i = pos; i < end; ++i) {
@@ -301,12 +305,16 @@ void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override
   const GroupId g = raid_.layout().group_of(slot.lba);
   const std::uint32_t index = raid_.layout().index_in_group(slot.lba);
 
-  Page xor_diff;
+  // delta_xor_view aliases a raw payload directly (zero-copy) and only
+  // decompresses into the arena scratch for LZ-compressed deltas.
+  Page placeholder;  // prototype mode: the RMW never dereferences the diff
+  ScratchPage scratch_sp;
+  Delta d;
+  const Page* xor_diff = &placeholder;
   if (ssd_.real()) {
     if (override_delta) {
-      xor_diff = delta_to_xor(override_delta->blob);
+      xor_diff = &delta_xor_view(override_delta->blob, *scratch_sp);
     } else {
-      Delta d;
       if (!load_delta(slot, d, plan)) {
         // Delta lost to a cache-media fault: RMW would fold garbage into
         // parity. Discard the group's deltas and reconstruct parity instead.
@@ -314,12 +322,12 @@ void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override
         heal_group(g, plan);
         return;
       }
-      xor_diff = delta_to_xor(d);
+      xor_diff = &delta_xor_view(d, *scratch_sp);
     }
   } else if (!override_delta) {
     charge_delta_read(slot, plan);
   }
-  const GroupDelta gd{index, &xor_diff};
+  const GroupDelta gd{index, xor_diff};
   const bool last_in_group =
       dirty_groups_.count(g) != 0 && dirty_groups_.at(g) == 1;
   const IoStatus st =
@@ -407,9 +415,9 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
     // Old page: combine the DAZ copy with its latest delta (Section III-A).
     KDD_DCHECK(slot.state == PageState::kOld);
     if (ssd_.real()) {
-      Page daz = make_page();
+      ScratchPage daz;
       Delta d;
-      if (ssd_.read_data(idx, daz, plan) != IoStatus::kOk ||
+      if (ssd_.read_data(idx, *daz, plan) != IoStatus::kOk ||
           !load_delta(slot, d, plan)) {
         // DAZ base or delta unreadable. The array already holds the newest
         // contents (write hits go to RAID before delta staging), so heal the
@@ -418,9 +426,8 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
         heal_group(raid_.layout().group_of(lba), plan);
         return raid_.read_page(lba, out, plan);
       }
-      const Page current = apply_delta(daz, d);
-      KDD_CHECK(out.size() == current.size());
-      std::copy(current.begin(), current.end(), out.begin());
+      // Combine straight into the caller's buffer: no staging copy.
+      apply_delta_into(*daz, d, out);
     } else {
       ssd_.read_data(idx, {}, plan);
       charge_delta_read(slot, plan);
@@ -609,27 +616,29 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
 
   const bool real = ssd_.real();
   if (all_cached) {
-    std::vector<Page> data(dd);
+    // Member images live in arena scratch (released on every exit path,
+    // including the heal_group early returns).
+    ScratchPages data_sp(dd);
+    std::vector<Page>& data = data_sp.vec();
+    ScratchPage xor_scratch;
     std::vector<const Page*> ptrs(dd, nullptr);
     for (std::uint32_t k = 0; k < dd; ++k) {
       const CacheSets::CacheSlot& ms = sets_.slot(member_slots[k]);
       if (real) {
-        Page daz = make_page();
-        Delta d;
-        if (ssd_.read_data(member_slots[k], daz, plan) != IoStatus::kOk) {
+        if (ssd_.read_data(member_slots[k], data[k], plan) != IoStatus::kOk) {
           // Unreadable cache copy: leave ptrs[k] null so the array reads the
           // member from disk (which is current for clean AND old pages).
           ++media_fallbacks_;
           continue;
         }
         if (ms.state == PageState::kOld) {
+          Delta d;
           if (!load_delta(ms, d, plan)) {
             ++media_fallbacks_;
             continue;
           }
-          data[k] = apply_delta(daz, d);
-        } else {
-          data[k] = std::move(daz);
+          // Fold the delta in place: DAZ base ^ raw XOR == current version.
+          xor_into(data[k], delta_xor_view(d, *xor_scratch));
         }
       } else {
         ssd_.read_data(member_slots[k], {}, plan);
@@ -644,7 +653,8 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
       return !dirty_groups_.contains(g);
     }
   } else {
-    std::vector<Page> diffs(old_slots.size());
+    ScratchPages diffs_sp(old_slots.size());
+    std::vector<Page>& diffs = diffs_sp.vec();
     std::vector<GroupDelta> deltas;
     deltas.reserve(old_slots.size());
     for (std::size_t i = 0; i < old_slots.size(); ++i) {
@@ -657,7 +667,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
           heal_group(g, plan);
           return !dirty_groups_.contains(g);
         }
-        diffs[i] = delta_to_xor(d);
+        KDD_CHECK(delta_to_xor_into(d, diffs[i]));
       } else {
         charge_delta_read(s, plan);
       }
@@ -673,13 +683,15 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
 
   // Reclaim (Section III-D): scheme 1 rewrites the combined page as clean;
   // scheme 2 (the paper's choice) simply drops old pages and their deltas.
+  ScratchPage reclaim_sp;  // hoisted: one borrow for the whole reclaim loop
+  ScratchPage reclaim_xor_sp;
   for (const std::uint32_t os : old_slots) {
     CacheSets::CacheSlot& s = sets_.slot(os);
     if (config_.reclaim_as_clean) {
       if (real) {
-        Page daz = make_page();
+        Page& current = *reclaim_sp;
         Delta d;
-        const bool readable = ssd_.read_data(os, daz, plan) == IoStatus::kOk &&
+        const bool readable = ssd_.read_data(os, current, plan) == IoStatus::kOk &&
                               load_delta(s, d, plan);
         if (!readable) {
           // Cannot rebuild the combined page: fall back to scheme-2 drop
@@ -689,7 +701,8 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
           drop_old_page(os, plan);
           continue;
         }
-        const Page current = apply_delta(daz, d);
+        // DAZ base ^ raw XOR == combined page, computed in place.
+        xor_into(current, delta_xor_view(d, *reclaim_xor_sp));
         invalidate_delta(os, plan);
         if (ssd_.write_data(os, SsdWriteKind::kWriteUpdate, current, plan) !=
             IoStatus::kOk) {

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 
 namespace kdd::gf256 {
 
@@ -64,6 +65,12 @@ std::uint8_t log(std::uint8_t a) {
 
 void mul_acc(std::span<std::uint8_t> dst, std::uint8_t c,
              std::span<const std::uint8_t> src) {
+  KDD_DCHECK(dst.size() == src.size());
+  kern::gf256_mul_acc(dst.data(), c, src.data(), dst.size());
+}
+
+void mul_acc_ref(std::span<std::uint8_t> dst, std::uint8_t c,
+                 std::span<const std::uint8_t> src) {
   KDD_DCHECK(dst.size() == src.size());
   if (c == 0) return;
   if (c == 1) {

@@ -27,8 +27,15 @@ std::uint8_t exp(unsigned e);
 std::uint8_t log(std::uint8_t a);
 
 /// dst ^= c * src, element-wise over byte buffers (the RAID-6 inner loop).
+/// Dispatches to the split-nibble bulk kernel (common/kernels.hpp): scalar
+/// table baseline, PSHUFB/TBL SIMD tiers where the CPU supports them.
 void mul_acc(std::span<std::uint8_t> dst, std::uint8_t c,
              std::span<const std::uint8_t> src);
+
+/// Historical byte-at-a-time log/exp implementation of mul_acc. Kept as the
+/// bit-exact reference for the kernel equivalence tests and the perf gate.
+void mul_acc_ref(std::span<std::uint8_t> dst, std::uint8_t c,
+                 std::span<const std::uint8_t> src);
 
 /// dst = c * dst.
 void scale(std::span<std::uint8_t> dst, std::uint8_t c);

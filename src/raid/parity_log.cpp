@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/page_arena.hpp"
 
 namespace kdd {
 
@@ -32,8 +33,10 @@ IoStatus ParityLogRaid::write_page(Lba lba, std::span<const std::uint8_t> data,
           apply_threshold_ * static_cast<double>(log_->num_pages())) {
     apply_log(plan);
   }
-  // Read the old data, compute the parity update image.
-  Page old_data = make_page();
+  // Read the old data, compute the parity update image (arena scratch: the
+  // append fast path allocates nothing once warm).
+  ScratchPage old_data_sp;
+  Page& old_data = *old_data_sp;
   const DiskAddr addr = array_->layout().map(lba);
   if (array_->disk_failed(addr.disk)) {
     // Degraded: fall back to the array's general write (parity current after
@@ -78,33 +81,46 @@ std::uint64_t ParityLogRaid::apply_log(IoPlan* plan) {
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   std::uint64_t groups = 0;
   std::size_t i = 0;
+  ScratchPage image_sp;
+  Page& image = *image_sp;
   while (i < pending_.size()) {
     const GroupId g = pending_[i].group;
-    Page image = make_page();
-    Page combined = make_page();
     std::vector<GroupDelta> deltas;
-    std::vector<Page> diffs;
+    std::vector<Page> diffs;  // arena-backed, released below
     // Collect all images of this group; images for the same page compose by
-    // XOR (old1^new1 ^ old2^new2 == old1^new2 when new1 == old2).
+    // XOR (old1^new1 ^ old2^new2 == old1^new2 when new1 == old2). First image
+    // of a page is read straight into its diff slot — no staging copy.
     std::unordered_map<std::uint32_t, std::size_t> by_index;
+    bool read_failed = false;
     while (i < pending_.size() && pending_[i].group == g) {
-      if (log_->read(pending_[i].log_page, image) != IoStatus::kOk) return groups;
+      const auto it = by_index.find(pending_[i].index);
+      Page* dst = nullptr;
+      if (it == by_index.end()) {
+        by_index[pending_[i].index] = diffs.size();
+        diffs.push_back(PageArena::local().acquire());
+        dst = &diffs.back();
+      } else {
+        dst = &image;
+      }
+      if (log_->read(pending_[i].log_page, *dst) != IoStatus::kOk) {
+        read_failed = true;
+        break;
+      }
       if (plan) {
         plan->add(read_phase, {DeviceOp::Target::kHdd, array_->geometry().num_disks,
                                pending_[i].log_page, IoKind::kRead});
       }
-      const auto it = by_index.find(pending_[i].index);
-      if (it == by_index.end()) {
-        by_index[pending_[i].index] = diffs.size();
-        diffs.push_back(image);
-      } else {
-        xor_into(diffs[it->second], image);
-      }
+      if (dst == &image) xor_into(diffs[it->second], image);
       ++i;
+    }
+    if (read_failed) {
+      release_scratch_pages(diffs);
+      return groups;
     }
     deltas.reserve(diffs.size());
     for (const auto& [index, pos] : by_index) deltas.push_back({index, &diffs[pos]});
     const IoStatus st = array_->update_parity_rmw(g, deltas, plan);
+    release_scratch_pages(diffs);
     KDD_CHECK(st == IoStatus::kOk);
     ++groups;
   }

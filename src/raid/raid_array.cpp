@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/page_arena.hpp"
 #include "raid/gf256.hpp"
 
 namespace kdd {
@@ -21,8 +22,8 @@ void solve_two_erasures(std::uint32_t i, std::uint32_t j, const Page& p_prime,
   gf256::mul_acc(di, gj, p_prime);
   xor_into(di, q_prime);
   gf256::scale(di, denom_inv);
-  dj = p_prime;
-  xor_into(dj, di);
+  dj.resize(kPageSize);
+  xor_pages3(dj, p_prime, di);
 }
 
 /// Page-level fault: the device is alive but this page's contents are gone
@@ -148,10 +149,15 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
   const std::uint32_t dd = geo.data_disks();
 
   // Gather survivors. A page-level fault on a survivor is one more erasure.
+  // All temporaries borrow from the thread-local page arena (no allocation
+  // on the warm path).
   std::vector<std::uint32_t> lost_data;
-  Page p_prime = make_page();  // running XOR of known data
-  Page q_prime = make_page();  // running XOR of g^k * known data
-  Page buf = make_page();
+  ScratchPage p_prime_sp(ScratchPage::kZeroed);  // running XOR of known data
+  ScratchPage q_prime_sp(ScratchPage::kZeroed);  // running XOR of g^k * known data
+  ScratchPage buf_sp;
+  Page& p_prime = *p_prime_sp;
+  Page& q_prime = *q_prime_sp;
+  Page& buf = *buf_sp;
   for (std::uint32_t k = 0; k < dd; ++k) {
     if (k == idx) continue;
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
@@ -176,11 +182,11 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
   if (lost_data.empty()) {
     // Single data erasure.
     if (p_alive) {
-      Page p = make_page();
-      const IoStatus st = dev_read(pa.disk, pa.page, p);
+      ScratchPage p;
+      const IoStatus st = dev_read(pa.disk, pa.page, *p);
       if (st == IoStatus::kOk) {
-        xor_into(p, p_prime);
-        std::copy(p.begin(), p.end(), out.begin());
+        // out = P ^ P' directly into the caller's buffer (fused kernel).
+        xor_pages3(out, *p, p_prime);
         return IoStatus::kOk;
       }
       if (!page_fault(st)) return IoStatus::kFailed;
@@ -188,11 +194,11 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
     }
     if (q_alive) {
       const DiskAddr qa = layout_.q_parity_addr(g);
-      Page q = make_page();
-      if (dev_read(qa.disk, qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
-      xor_into(q, q_prime);  // q = g^idx * D_idx
-      gf256::scale(q, gf256::inv(gf256::exp(idx)));
-      std::copy(q.begin(), q.end(), out.begin());
+      ScratchPage q;
+      if (dev_read(qa.disk, qa.page, *q) != IoStatus::kOk) return IoStatus::kFailed;
+      xor_into(*q, q_prime);  // q = g^idx * D_idx
+      gf256::scale(*q, gf256::inv(gf256::exp(idx)));
+      std::copy(q->begin(), q->end(), out.begin());
       return IoStatus::kOk;
     }
     return IoStatus::kFailed;
@@ -200,16 +206,16 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
   if (lost_data.size() == 1 && geo.level == RaidLevel::kRaid6 && p_alive && q_alive) {
     // Two data erasures (idx plus one more): need both parities.
     const DiskAddr qa = layout_.q_parity_addr(g);
-    Page p = make_page();
-    Page q = make_page();
-    if (dev_read(pa.disk, pa.page, p) != IoStatus::kOk) return IoStatus::kFailed;
-    if (dev_read(qa.disk, qa.page, q) != IoStatus::kOk) return IoStatus::kFailed;
-    xor_into(p, p_prime);
-    xor_into(q, q_prime);
-    Page di;
-    Page dj;
-    solve_two_erasures(idx, lost_data[0], p, q, di, dj);
-    std::copy(di.begin(), di.end(), out.begin());
+    ScratchPage p;
+    ScratchPage q;
+    if (dev_read(pa.disk, pa.page, *p) != IoStatus::kOk) return IoStatus::kFailed;
+    if (dev_read(qa.disk, qa.page, *q) != IoStatus::kOk) return IoStatus::kFailed;
+    xor_into(*p, p_prime);
+    xor_into(*q, q_prime);
+    ScratchPage di;
+    ScratchPage dj;
+    solve_two_erasures(idx, lost_data[0], *p, *q, *di, *dj);
+    std::copy(di->begin(), di->end(), out.begin());
     return IoStatus::kOk;
   }
   return IoStatus::kFailed;  // beyond the configured fault tolerance
@@ -236,9 +242,13 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   if (group_has_failed_member(g)) return write_page_general(lba, data, plan);
 
   // Read-modify-write: [read old data, read parity] -> [write data, write parity].
+  // RMW buffers are reused via the thread-local arena: the steady-state
+  // small-write path performs no allocations.
   const DiskAddr pa = layout_.parity_addr(g);
-  Page old_data = make_page();
-  Page parity = make_page();
+  ScratchPage old_data_sp;
+  ScratchPage parity_sp;
+  Page& old_data = *old_data_sp;
+  Page& parity = *parity_sp;
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   {
     // A page-level fault on either RMW read makes the delta uncomputable; the
@@ -260,8 +270,9 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
     plan->add(read_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
     plan->add(read_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kRead});
   }
-  Page delta(data.begin(), data.end());
-  xor_into(delta, old_data);
+  ScratchPage delta_sp;
+  Page& delta = *delta_sp;
+  xor_pages3(delta, data, old_data);  // fused: no copy-then-xor
   xor_into(parity, delta);
 
   const std::size_t write_phase = plan ? plan->next_phase() : 0;
@@ -273,7 +284,8 @@ IoStatus RaidArray::write_page(Lba lba, std::span<const std::uint8_t> data,
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
-    Page q = make_page();
+    ScratchPage q_sp;
+    Page& q = *q_sp;
     const IoStatus rq = dev_read(qa.disk, qa.page, q, plan);
     if (rq != IoStatus::kOk) {
       if (page_fault(rq) && !group_stale(g)) return write_page_general(lba, data, plan);
@@ -298,7 +310,8 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
   const std::uint32_t dd = geo.data_disks();
   const std::uint32_t target = layout_.index_in_group(lba);
 
-  std::vector<Page> members(dd, make_page());
+  ScratchPages members_sp(dd);
+  std::vector<Page>& members = members_sp.vec();
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   for (std::uint32_t k = 0; k < dd; ++k) {
     if (k == target) continue;
@@ -319,8 +332,10 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
   }
   members[target].assign(data.begin(), data.end());
 
-  Page p = make_page();
-  Page q = make_page();
+  ScratchPage p_sp;
+  ScratchPage q_sp;
+  Page& p = *p_sp;
+  Page& q = *q_sp;
   compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
 
   const std::size_t write_phase = plan ? plan->next_phase() : 0;
@@ -349,8 +364,10 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
 IoStatus RaidArray::write_group(GroupId g, std::span<const Page> data, IoPlan* plan) {
   const RaidGeometry& geo = layout_.geometry();
   KDD_CHECK(data.size() == geo.data_disks());
-  Page p = make_page();
-  Page q = make_page();
+  ScratchPage p_sp;
+  ScratchPage q_sp;
+  Page& p = *p_sp;
+  Page& q = *q_sp;
   if (geo.level != RaidLevel::kRaid0) {
     compute_parity(data, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
   }
@@ -402,7 +419,8 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   std::size_t write_phase = read_phase + 1;
   if (!disks_[pa.disk]->failed()) {
-    Page p = make_page();
+    ScratchPage p_sp;
+    Page& p = *p_sp;
     // A page fault on the stale parity read is surfaced to the caller
     // (kMediaError/kCorrupt): an RMW cannot proceed without the old parity,
     // but a reconstruct-style update (which the caller owns the data for)
@@ -419,7 +437,8 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
     if (!disks_[qa.disk]->failed()) {
-      Page q = make_page();
+      ScratchPage q_sp;
+      Page& q = *q_sp;
       const IoStatus rq = dev_read(qa.disk, qa.page, q, plan);
       if (rq != IoStatus::kOk) return rq;
       for (const GroupDelta& d : deltas) gf256::mul_acc(q, gf256::exp(d.index), *d.xor_diff);
@@ -442,7 +461,8 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
   const std::uint32_t dd = geo.data_disks();
   KDD_CHECK(current_data.size() == dd);
 
-  std::vector<Page> members(dd, make_page());
+  ScratchPages members_sp(dd);
+  std::vector<Page>& members = members_sp.vec();
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   bool any_read = false;
   for (std::uint32_t k = 0; k < dd; ++k) {
@@ -471,8 +491,10 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
     }
     any_read = true;
   }
-  Page p = make_page();
-  Page q = make_page();
+  ScratchPage p_sp;
+  ScratchPage q_sp;
+  Page& p = *p_sp;
+  Page& q = *q_sp;
   compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
 
   const std::size_t write_phase = plan ? (any_read ? plan->next_phase() : read_phase) : 0;
@@ -547,7 +569,8 @@ std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
       // Parity page: recompute from data — result reflects current data, so
       // any pending staleness is resolved for this group (P case).
       const bool is_q = layout_.parity_disk(row) != d;
-      std::vector<Page> members(geo.data_disks(), make_page());
+      ScratchPages members_sp(geo.data_disks());
+      std::vector<Page>& members = members_sp.vec();
       bool ok = true;
       for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
         const DiskAddr a = layout_.map(layout_.group_member(g, k));
@@ -563,8 +586,10 @@ std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
         disks_[d]->inject_media_error(page);
         continue;
       }
-      Page p = make_page();
-      Page q = make_page();
+      ScratchPage p_sp;
+      ScratchPage q_sp;
+      Page& p = *p_sp;
+      Page& q = *q_sp;
       compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
       dev_write(d, page, is_q ? q : p);
       if (!is_q) stale_groups_.erase(g);
@@ -585,9 +610,9 @@ std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
     }
     KDD_CHECK(found);
     if (stale_groups_.contains(g)) ++stale_rebuilds;
-    Page buf = make_page();
-    if (reconstruct_data(g, idx, buf) == IoStatus::kOk) {
-      dev_write(d, page, buf);
+    ScratchPage buf;
+    if (reconstruct_data(g, idx, *buf) == IoStatus::kOk) {
+      dev_write(d, page, *buf);
     } else {
       // Double fault (e.g. a latent sector error on a survivor): exactly this
       // stripe is lost. Reads of the page will fail cleanly — and if the
@@ -604,9 +629,13 @@ std::vector<GroupId> RaidArray::scrub() const {
   KDD_CHECK(geo.level != RaidLevel::kRaid0);
   KDD_CHECK(failed_disk_count() == 0);
   std::vector<GroupId> bad;
+  ScratchPage p_sp(ScratchPage::kZeroed);
+  ScratchPage q_sp(ScratchPage::kZeroed);
+  Page& p = *p_sp;
+  Page& q = *q_sp;
   for (GroupId g = 0; g < geo.num_groups(); ++g) {
-    Page p = make_page();
-    Page q = make_page();
+    p.assign(kPageSize, 0);
+    q.assign(kPageSize, 0);
     for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
       const DiskAddr a = layout_.map(layout_.group_member(g, k));
       const auto raw = media_[a.disk]->raw_page(a.page);
@@ -638,7 +667,8 @@ bool RaidArray::repair_group(GroupId g) {
   std::vector<std::uint32_t> bad_data;
   bool p_bad = false;
   bool q_bad = false;
-  Page buf = make_page();
+  ScratchPage buf_sp;
+  Page& buf = *buf_sp;
   for (std::uint32_t k = 0; k < dd; ++k) {
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
     const IoStatus st = dev_read(a.disk, a.page, buf);
@@ -661,10 +691,10 @@ bool RaidArray::repair_group(GroupId g) {
   }
   if (!bad_data.empty() || p_bad || q_bad) {
     for (const std::uint32_t k : bad_data) {
-      Page fix = make_page();
-      if (reconstruct_data(g, k, fix) != IoStatus::kOk) return false;
+      ScratchPage fix;
+      if (reconstruct_data(g, k, *fix) != IoStatus::kOk) return false;
       const DiskAddr a = layout_.map(layout_.group_member(g, k));
-      if (dev_write(a.disk, a.page, fix) != IoStatus::kOk) return false;
+      if (dev_write(a.disk, a.page, *fix) != IoStatus::kOk) return false;
       ++read_repairs_;
     }
     // Recompute parity from the (now healed) data; this rewrites P and Q,
@@ -677,8 +707,10 @@ bool RaidArray::repair_group(GroupId g) {
   // data member z: P_syn = e and Q_syn = g^z * e; P-only => P rotted;
   // Q-only => Q rotted.
   if (geo.level == RaidLevel::kRaid6) {
-    Page p_syn = make_page();
-    Page q_syn = make_page();
+    ScratchPage p_syn_sp(ScratchPage::kZeroed);
+    ScratchPage q_syn_sp(ScratchPage::kZeroed);
+    Page& p_syn = *p_syn_sp;
+    Page& q_syn = *q_syn_sp;
     for (std::uint32_t k = 0; k < dd; ++k) {
       const DiskAddr a = layout_.map(layout_.group_member(g, k));
       const auto raw = media_[a.disk]->raw_page(a.page);
