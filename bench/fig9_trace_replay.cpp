@@ -6,13 +6,68 @@
 // 7,200 RPM disks with caches off, one SATA SSD cache, 1 GiB usable).
 // Paper: KDD cuts mean response time vs Nossd by 41.7/61.2/28.0/30.1 % on
 // Fin1/Fin2/Hm0/Web0; WA/WT only help on the read-heavy Fin2; KDD ~ LeavO.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
+#include "harness/telemetry.hpp"
 #include "sim/event_sim.hpp"
 
-int main() {
+namespace {
+
+// --telemetry[=DIR]: after the figure table, re-run the KDD/Fin1 replay with
+// the full observability stack on (spans, metrics, wear series) and drop the
+// machine-readable artifacts under DIR (default "telemetry-fig9"). This is
+// the run CI's obs-smoke job schema-validates.
+void run_telemetry_replay(const char* out_dir, double scale,
+                          std::uint64_t cache_pages) {
   using namespace kdd;
+  Trace trace = generate_preset("Fin1", scale);
+  rescale_duration(trace, static_cast<SimTime>(
+                              static_cast<double>(trace.duration_us()) * scale));
+  PolicyConfig cfg;
+  cfg.ssd_pages = cache_pages;
+  cfg.delta_ratio_mean = 0.25;
+  const RaidGeometry geo = paper_geometry(compute_stats(trace).max_page);
+
+  TelemetrySession::Options opts;
+  opts.out_dir = out_dir;
+  opts.t_unit = "sim_us";
+  // ~64 buckets across the replay regardless of KDD_SCALE.
+  opts.ops_per_bucket =
+      std::max<std::uint64_t>(1, trace.records.size() / 64);
+  TelemetrySession session(opts);
+
+  KddCache kdd(cfg, geo);
+  session.attach_policy(&kdd);
+  session.attach_kdd(&kdd);
+  EventSimulator sim(paper_sim_config(geo.num_disks), &kdd);
+  sim.set_request_observer([&session](SimTime now, SimTime latency_us) {
+    session.on_request(now, latency_us);
+  });
+  const SimResult r = sim.run_open_loop(trace);
+  const bool ok = session.finish();
+  std::printf("\n[telemetry] KDD/Fin1 instrumented replay: %llu requests, "
+              "mean %.2f ms, %zu buckets -> %s/{metrics.prom,snapshot.json,"
+              "timeseries.jsonl,trace.json} (%s)\n",
+              static_cast<unsigned long long>(r.requests),
+              r.mean_response_ms(), session.series().samples().size(), out_dir,
+              ok ? "ok" : "WRITE FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kdd;
+  const char* telemetry_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry_dir = "telemetry-fig9";
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_dir = argv[i] + 12;
+    }
+  }
   const double scale = experiment_scale();
   bench::banner("Figure 9", "average response time, open-loop trace replay", scale);
 
@@ -48,5 +103,8 @@ int main() {
   }
   table.print();
   std::printf("\n(mean response time in ms; paper: KDD -41.7/-61.2/-28.0/-30.1%% vs Nossd)\n");
+  if (telemetry_dir != nullptr) {
+    run_telemetry_replay(telemetry_dir, scale, cache_pages);
+  }
   return 0;
 }

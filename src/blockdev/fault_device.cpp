@@ -5,8 +5,47 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace kdd {
+
+namespace {
+
+/// Global-registry mirrors of FaultCounters, so fault activity shows up in
+/// the Prometheus/JSONL exports without polling every decorator instance.
+struct FaultMetrics {
+  obs::Counter media_errors_injected;
+  obs::Counter media_error_reads;
+  obs::Counter media_errors_healed;
+  obs::Counter transient_errors;
+  obs::Counter torn_writes;
+  obs::Counter bit_rot_injected;
+  obs::Counter corruptions_detected;
+  obs::Counter power_cut_rejects;
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics* m = [] {
+    auto* fm = new FaultMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    fm->media_errors_injected =
+        obs::Counter(&reg, "kdd_fault_media_errors_injected_total");
+    fm->media_error_reads = obs::Counter(&reg, "kdd_fault_media_error_reads_total");
+    fm->media_errors_healed =
+        obs::Counter(&reg, "kdd_fault_media_errors_healed_total");
+    fm->transient_errors = obs::Counter(&reg, "kdd_fault_transient_errors_total");
+    fm->torn_writes = obs::Counter(&reg, "kdd_fault_torn_writes_total");
+    fm->bit_rot_injected = obs::Counter(&reg, "kdd_fault_bit_rot_injected_total");
+    fm->corruptions_detected =
+        obs::Counter(&reg, "kdd_fault_corruptions_detected_total");
+    fm->power_cut_rejects = obs::Counter(&reg, "kdd_fault_power_cut_rejects_total");
+    return fm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 FaultInjectingDevice::FaultInjectingDevice(BlockDevice* inner, FaultConfig config)
     : inner_(inner),
@@ -34,7 +73,12 @@ void FaultInjectingDevice::attach_rail(std::shared_ptr<PowerRail> rail) {
 
 void FaultInjectingDevice::inject_media_error(Lba page) {
   KDD_CHECK(page < inner_->num_pages());
-  if (media_errors_.insert(page).second) ++fault_counters_.media_errors_injected;
+  if (media_errors_.insert(page).second) {
+    ++fault_counters_.media_errors_injected;
+    fault_metrics().media_errors_injected.inc();
+    KDD_LOG(Debug, "fault: latent sector error injected page=%llu",
+            static_cast<unsigned long long>(page));
+  }
 }
 
 void FaultInjectingDevice::inject_bit_rot(Lba page, std::uint8_t xor_mask) {
@@ -46,6 +90,9 @@ void FaultInjectingDevice::inject_bit_rot(Lba page, std::uint8_t xor_mask) {
   KDD_CHECK(inner_->write(page, buf) == IoStatus::kOk);
   // Deliberately leave checksums_ stale: the corruption is silent.
   ++fault_counters_.bit_rot_injected;
+  fault_metrics().bit_rot_injected.inc();
+  KDD_LOG(Debug, "fault: bit rot injected page=%llu mask=0x%02x",
+          static_cast<unsigned long long>(page), xor_mask);
 }
 
 void FaultInjectingDevice::arm_power_cut(std::uint64_t after_writes) {
@@ -62,6 +109,7 @@ IoStatus FaultInjectingDevice::read(Lba page, std::span<std::uint8_t> out) {
   KDD_CHECK(page < inner_->num_pages());
   if (!rail_->on()) {
     ++fault_counters_.power_cut_rejects;
+    fault_metrics().power_cut_rejects.inc();
     return IoStatus::kFailed;
   }
   if (failed()) return IoStatus::kFailed;
@@ -69,10 +117,14 @@ IoStatus FaultInjectingDevice::read(Lba page, std::span<std::uint8_t> out) {
       std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
           config_.transient_read_prob) {
     ++fault_counters_.transient_errors;
+    fault_metrics().transient_errors.inc();
     return IoStatus::kTransient;
   }
   if (media_errors_.contains(page)) {
     ++fault_counters_.media_error_reads;
+    fault_metrics().media_error_reads.inc();
+    KDD_LOG(Info, "fault: read hit latent sector error page=%llu",
+            static_cast<unsigned long long>(page));
     return IoStatus::kMediaError;
   }
   ++counters_.reads;
@@ -82,6 +134,9 @@ IoStatus FaultInjectingDevice::read(Lba page, std::span<std::uint8_t> out) {
     const auto it = checksums_.find(page);
     if (it != checksums_.end() && it->second != page_checksum(out)) {
       ++fault_counters_.corruptions_detected;
+      fault_metrics().corruptions_detected.inc();
+      KDD_LOG(Warn, "fault: checksum mismatch (bit rot?) page=%llu",
+              static_cast<unsigned long long>(page));
       return IoStatus::kCorrupt;  // data was transferred; caller may inspect
     }
   }
@@ -107,6 +162,9 @@ IoStatus FaultInjectingDevice::do_torn_write(Lba page,
     ++media_writes_;
   }
   ++fault_counters_.torn_writes;
+  fault_metrics().torn_writes.inc();
+  KDD_LOG(Warn, "fault: torn write page=%llu (power rail cut)",
+          static_cast<unsigned long long>(page));
   disarm_power_cut();
   rail_->cut();
   // The host never sees an ack for a torn write: the power died.
@@ -118,6 +176,7 @@ IoStatus FaultInjectingDevice::write(Lba page, std::span<const std::uint8_t> dat
   KDD_CHECK(data.size() == kPageSize);
   if (!rail_->on()) {
     ++fault_counters_.power_cut_rejects;
+    fault_metrics().power_cut_rejects.inc();
     return IoStatus::kFailed;
   }
   if (failed()) return IoStatus::kFailed;
@@ -125,6 +184,7 @@ IoStatus FaultInjectingDevice::write(Lba page, std::span<const std::uint8_t> dat
       std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
           config_.transient_write_prob) {
     ++fault_counters_.transient_errors;
+    fault_metrics().transient_errors.inc();
     return IoStatus::kTransient;
   }
   ++counters_.writes;
@@ -136,7 +196,12 @@ IoStatus FaultInjectingDevice::write(Lba page, std::span<const std::uint8_t> dat
   if (st != IoStatus::kOk) return st;
   ++media_writes_;
   checksums_[page] = page_checksum(data);
-  if (media_errors_.erase(page) > 0) ++fault_counters_.media_errors_healed;
+  if (media_errors_.erase(page) > 0) {
+    ++fault_counters_.media_errors_healed;
+    fault_metrics().media_errors_healed.inc();
+    KDD_LOG(Info, "fault: latent sector error healed by rewrite page=%llu",
+            static_cast<unsigned long long>(page));
+  }
   return IoStatus::kOk;
 }
 

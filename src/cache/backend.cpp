@@ -1,8 +1,35 @@
 #include "cache/backend.hpp"
 
 #include "common/check.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace kdd {
+
+namespace {
+
+/// Cached metric handles for the data-plane leaves, registered once in the
+/// global registry (hot-path cost per I/O: one relaxed fetch_add each).
+struct BackendMetrics {
+  obs::Counter retry_attempts;   ///< extra attempts beyond the first
+  obs::Counter retry_exhausted;  ///< ops that failed after all retries
+  obs::Counter ssd_io_errors;    ///< non-OK statuses surfaced to the cache
+};
+
+BackendMetrics& backend_metrics() {
+  static BackendMetrics* m = [] {
+    auto* bm = new BackendMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    bm->retry_attempts = obs::Counter(&reg, "kdd_ssd_retry_attempts_total");
+    bm->retry_exhausted = obs::Counter(&reg, "kdd_ssd_retry_exhausted_total");
+    bm->ssd_io_errors = obs::Counter(&reg, "kdd_ssd_io_errors_total");
+    return bm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CacheSsd
@@ -28,6 +55,8 @@ CacheSsd::CacheSsd(std::uint64_t metadata_pages, std::uint64_t cache_pages,
 
 void CacheSsd::replace_device() {
   KDD_CHECK(ssd_ != nullptr);
+  KDD_LOG(Info, "cache-ssd device replaced (endurance %.3f consumed)",
+          ssd_->endurance_consumed());
   ssd_->replace();
   // Checksums and latent sector errors belong to the old media.
   fault_dev_->clear_faults();
@@ -37,9 +66,21 @@ IoStatus CacheSsd::do_read(Lba ssd_lba, std::span<std::uint8_t> out, IoPlan* pla
   ++reads_;
   if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kSsd, 0, ssd_lba, IoKind::kRead});
   if (ssd_ && !out.empty()) {
+    const obs::SpanScope span(obs::Stage::kDevice);
     const RetryResult r = with_retry(
         [&] { return fault_dev_->read(ssd_lba, out); }, retry_policy_);
     if (plan) plan->add_retry_delay(r.backoff_us);
+    if (r.attempts > 1) {
+      backend_metrics().retry_attempts.inc(r.attempts - 1);
+    }
+    if (r.status != IoStatus::kOk) {
+      backend_metrics().ssd_io_errors.inc();
+      // kFailed here is a transient that never cleared (with_retry demotes).
+      if (r.status == IoStatus::kFailed) backend_metrics().retry_exhausted.inc();
+      KDD_LOG(Warn, "cache-ssd read failed lba=%llu status=%d attempts=%u",
+              static_cast<unsigned long long>(ssd_lba),
+              static_cast<int>(r.status), r.attempts);
+    }
     return r.status;
   }
   return IoStatus::kOk;
@@ -52,9 +93,21 @@ IoStatus CacheSsd::do_write(Lba ssd_lba, std::span<const std::uint8_t> data,
     if (scratch_.empty()) scratch_ = make_page();
     const std::span<const std::uint8_t> payload =
         data.empty() ? std::span<const std::uint8_t>(scratch_) : data;
+    const obs::SpanScope span(obs::Stage::kDevice);
     const RetryResult r = with_retry(
         [&] { return fault_dev_->write(ssd_lba, payload); }, retry_policy_);
     if (plan) plan->add_retry_delay(r.backoff_us);
+    if (r.attempts > 1) {
+      backend_metrics().retry_attempts.inc(r.attempts - 1);
+    }
+    if (r.status != IoStatus::kOk) {
+      backend_metrics().ssd_io_errors.inc();
+      // kFailed here is a transient that never cleared (with_retry demotes).
+      if (r.status == IoStatus::kFailed) backend_metrics().retry_exhausted.inc();
+      KDD_LOG(Warn, "cache-ssd write failed lba=%llu status=%d attempts=%u",
+              static_cast<unsigned long long>(ssd_lba),
+              static_cast<int>(r.status), r.attempts);
+    }
     return r.status;
   }
   return IoStatus::kOk;
@@ -141,6 +194,7 @@ void RaidBackend::plan_rmw(GroupId g, Lba lba, IoPlan* plan) {
 
 IoStatus RaidBackend::write_page(Lba lba, std::span<const std::uint8_t> data,
                                  IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kRmw);
   const RaidGeometry& geo = layout_.geometry();
   const std::uint32_t parity = geo.parity_disks();
   disk_reads_ += parity ? 1 + parity : 0;  // old data + old parities
@@ -201,6 +255,7 @@ IoStatus RaidBackend::write_page_nopar(Lba lba, std::span<const std::uint8_t> da
 
 IoStatus RaidBackend::update_parity_rmw(GroupId g, std::span<const GroupDelta> deltas,
                                         IoPlan* plan, bool finalize) {
+  const obs::SpanScope span(obs::Stage::kParity);
   const std::uint32_t parity = layout_.geometry().parity_disks();
   KDD_CHECK(parity > 0);
   disk_reads_ += parity;
@@ -223,6 +278,7 @@ IoStatus RaidBackend::update_parity_rmw(GroupId g, std::span<const GroupDelta> d
 
 IoStatus RaidBackend::update_parity_reconstruct_cached(
     GroupId g, std::span<const Page* const> current_data, IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kParity);
   const std::uint32_t parity = layout_.geometry().parity_disks();
   KDD_CHECK(parity > 0);
   disk_writes_ += parity;

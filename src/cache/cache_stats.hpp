@@ -20,6 +20,19 @@ enum class SsdWriteKind : std::uint8_t {
 };
 inline constexpr int kNumSsdWriteKinds = 5;
 
+/// Stable lower_snake names for the kinds ("read_fill", ...). Used as metric
+/// labels and JSONL field suffixes, so renames are schema changes.
+inline const char* ssd_write_kind_name(SsdWriteKind k) {
+  switch (k) {
+    case SsdWriteKind::kReadFill: return "read_fill";
+    case SsdWriteKind::kWriteAlloc: return "write_alloc";
+    case SsdWriteKind::kWriteUpdate: return "write_update";
+    case SsdWriteKind::kDeltaCommit: return "delta_commit";
+    case SsdWriteKind::kMetadata: return "metadata";
+  }
+  return "?";
+}
+
 struct CacheStats {
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;
@@ -36,6 +49,24 @@ struct CacheStats {
   std::uint64_t cleanings = 0;          ///< cleaning passes run
   std::uint64_t groups_cleaned = 0;     ///< parity groups brought up to date
   std::uint64_t log_gc_passes = 0;      ///< metadata-log garbage collections
+
+  /// Element-wise sum: every field of `other` is added to this. Used to
+  /// aggregate ConcurrentCache's per-stripe shard stats into one view
+  /// without holding the policy mutex while shards keep recording.
+  void merge(const CacheStats& other) {
+    read_hits += other.read_hits;
+    read_misses += other.read_misses;
+    write_hits += other.write_hits;
+    write_misses += other.write_misses;
+    write_bypasses += other.write_bypasses;
+    ssd_reads += other.ssd_reads;
+    for (int k = 0; k < kNumSsdWriteKinds; ++k) ssd_writes[k] += other.ssd_writes[k];
+    disk_reads += other.disk_reads;
+    disk_writes += other.disk_writes;
+    cleanings += other.cleanings;
+    groups_cleaned += other.groups_cleaned;
+    log_gc_passes += other.log_gc_passes;
+  }
 
   std::uint64_t total_ssd_writes() const {
     std::uint64_t n = 0;

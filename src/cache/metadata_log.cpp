@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace kdd {
 
@@ -92,6 +95,7 @@ void MetadataLog::commit_buffer(IoPlan* plan) {
 }
 
 void MetadataLog::commit_entries(std::vector<MetadataEntry> entries, IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kMetadataLog);
   KDD_CHECK(!entries.empty());
   KDD_CHECK(used_pages() < partition_pages());  // circular-log hard invariant
   const std::uint64_t seq = nvram_->log_tail;
@@ -124,6 +128,11 @@ void MetadataLog::commit_entries(std::vector<MetadataEntry> entries, IoPlan* pla
 void MetadataLog::collect_one_page(IoPlan* plan) {
   KDD_CHECK(used_pages() > 0);
   ++gc_passes_;
+  {
+    static obs::Counter gc_counter(&obs::MetricsRegistry::global(),
+                                   "kdd_log_gc_passes_total");
+    gc_counter.inc();
+  }
   const std::uint64_t seq = nvram_->log_head;
   auto it = mirror_.find(seq);
   KDD_CHECK(it != mirror_.end());
@@ -215,7 +224,13 @@ std::vector<MetadataEntry> MetadataLog::replay(IoPlan* plan) {
       std::size_t dropped = 0;
       if (st != IoStatus::kOk || !deserialize_page(page, seq, all, &dropped)) {
         ++bad_pages_skipped_;
+        KDD_LOG(Warn, "metadata log: unusable page seq=%llu skipped in replay",
+                static_cast<unsigned long long>(seq));
         continue;
+      }
+      if (dropped > 0) {
+        KDD_LOG(Warn, "metadata log: %zu torn entries dropped at seq=%llu",
+                dropped, static_cast<unsigned long long>(seq));
       }
       torn_entries_dropped_ += dropped;
     } else {

@@ -69,8 +69,9 @@ SimTime LatencyHistogram::bucket_upper(std::size_t idx) {
   const std::size_t rel = idx - kSubBuckets;
   const int octave = static_cast<int>(rel / kSubBuckets);
   const SimTime sub = static_cast<SimTime>(rel % kSubBuckets);
-  // sub already carries the octave's leading bit (it is always >= 16), so the
-  // covered range is [sub << octave, ((sub + 1) << octave) - 1].
+  // sub already carries the octave's leading bit (it is always >=
+  // kSubBuckets / 2), so the covered range is
+  // [sub << octave, ((sub + 1) << octave) - 1].
   return ((sub + 1) << octave) - 1;
 }
 

@@ -36,7 +36,11 @@ class OnlineStats {
 
 /// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
 /// linear sub-buckets). Records microseconds; supports percentile queries
-/// with bounded relative error (~1.6 %).
+/// with bounded relative error: values below kSubBuckets are exact, larger
+/// values land in a sub-bucket spanning 1/(kSubBuckets/2) of their octave,
+/// so the reported bucket upper bound overstates the true value by at most
+/// 2/kSubBuckets = 1/64 ~= 1.6 % (tests/test_obs.cpp asserts this bound
+/// across octave boundaries).
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -52,7 +56,7 @@ class LatencyHistogram {
   SimTime max_us() const { return max_; }
 
  private:
-  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kSubBucketBits = 7;  // 128 linear sub-buckets per octave
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kOctaves = 40;
 

@@ -1,0 +1,160 @@
+#include "harness/telemetry.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "blockdev/fault_device.hpp"
+#include "blockdev/ssd_model.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace kdd {
+
+TelemetrySession::TelemetrySession(Options opts)
+    : opts_(std::move(opts)), series_(opts_.t_unit) {
+  std::vector<std::string> kinds;
+  kinds.reserve(kNumSsdWriteKinds);
+  for (int k = 0; k < kNumSsdWriteKinds; ++k) {
+    kinds.emplace_back(ssd_write_kind_name(static_cast<SsdWriteKind>(k)));
+  }
+  series_.set_kind_names(std::move(kinds));
+
+  // The snapshot should describe exactly this run: zero the global registry,
+  // (re)register the span aggregates, and start a fresh span ring.
+  obs::MetricsRegistry::global().reset();
+  obs::register_span_metrics();
+  obs::TraceBuffer::global().clear();
+  obs::TraceBuffer::global().set_capacity(opts_.trace_capacity);
+  obs::TraceBuffer::set_sample_period(opts_.trace_sample_period);
+  obs::TraceBuffer::global().set_enabled(true);
+}
+
+TelemetrySession::~TelemetrySession() {
+  if (!finished_) obs::TraceBuffer::set_enabled(false);
+}
+
+void TelemetrySession::attach_policy(CachePolicy* policy) {
+  policy_ = policy;
+  if (policy_) prev_stats_ = policy_->stats();
+}
+
+void TelemetrySession::attach_kdd(KddCache* kdd) {
+  kdd_ = kdd;
+  if (kdd_) {
+    prev_log_gc_ = kdd_->metadata_log().gc_passes();
+    prev_fallbacks_ = kdd_->media_fallbacks();
+    prev_healed_ = kdd_->groups_healed();
+  }
+}
+
+void TelemetrySession::attach_ssd(const SsdModel* ssd) { ssd_ = ssd; }
+
+void TelemetrySession::attach_fault_counters(const FaultCounters* counters) {
+  faults_ = counters;
+  if (faults_) {
+    prev_media_errors_ = faults_->media_error_reads;
+    prev_transient_ = faults_->transient_errors;
+    prev_corruptions_ = faults_->corruptions_detected;
+    prev_repairs_ = faults_->media_errors_healed;
+  }
+}
+
+void TelemetrySession::poll_sources(obs::WearSample& s) {
+  if (policy_) {
+    const CacheStats cur = policy_->stats();
+    s.ssd_reads = cur.ssd_reads - prev_stats_.ssd_reads;
+    for (int k = 0; k < kNumSsdWriteKinds; ++k) {
+      s.ssd_writes_by_kind[static_cast<std::size_t>(k)] =
+          cur.ssd_writes[k] - prev_stats_.ssd_writes[k];
+    }
+    s.disk_reads = cur.disk_reads - prev_stats_.disk_reads;
+    s.disk_writes = cur.disk_writes - prev_stats_.disk_writes;
+    s.cleanings = cur.cleanings - prev_stats_.cleanings;
+    s.groups_cleaned = cur.groups_cleaned - prev_stats_.groups_cleaned;
+    s.log_gc_passes = cur.log_gc_passes - prev_stats_.log_gc_passes;
+    prev_stats_ = cur;
+  }
+  if (kdd_) {
+    // Prefer the log's own GC counter when a KddCache is attached (identical
+    // to CacheStats::log_gc_passes, but available even without a policy).
+    const std::uint64_t gc = kdd_->metadata_log().gc_passes();
+    s.log_gc_passes = gc - prev_log_gc_;
+    prev_log_gc_ = gc;
+    const std::uint64_t fb = kdd_->media_fallbacks();
+    s.media_fallbacks = fb - prev_fallbacks_;
+    prev_fallbacks_ = fb;
+    const std::uint64_t healed = kdd_->groups_healed();
+    s.groups_healed = healed - prev_healed_;
+    prev_healed_ = healed;
+
+    s.dez_pages = kdd_->dez_pages();
+    s.old_pages = kdd_->old_pages();
+    s.stale_groups = kdd_->stale_groups();
+    s.staged_deltas = kdd_->staged_deltas();
+    s.log_used_pages = kdd_->metadata_log().used_pages();
+  }
+  if (ssd_) {
+    s.write_amplification = ssd_->wear().write_amplification();
+    s.endurance_consumed = ssd_->endurance_consumed();
+  }
+  if (faults_) {
+    s.media_errors = faults_->media_error_reads - prev_media_errors_;
+    prev_media_errors_ = faults_->media_error_reads;
+    s.transient_errors = faults_->transient_errors - prev_transient_;
+    prev_transient_ = faults_->transient_errors;
+    s.corruptions = faults_->corruptions_detected - prev_corruptions_;
+    prev_corruptions_ = faults_->corruptions_detected;
+    s.read_repairs = faults_->media_errors_healed - prev_repairs_;
+    prev_repairs_ = faults_->media_errors_healed;
+  }
+}
+
+void TelemetrySession::close_bucket(double t) {
+  if (bucket_ops_ == 0) return;
+  obs::WearSample s;
+  s.t = t;
+  s.ops = bucket_ops_;
+  s.mean_latency_us = latency_sum_us_ / static_cast<double>(bucket_ops_);
+  s.max_latency_us = latency_max_us_;
+  poll_sources(s);
+  series_.add(s);
+  bucket_ops_ = 0;
+  latency_sum_us_ = 0.0;
+  latency_max_us_ = 0;
+}
+
+bool TelemetrySession::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  close_bucket(last_t_);
+  obs::TraceBuffer::set_enabled(false);
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.out_dir, ec);
+  if (ec) {
+    KDD_LOG(Error, "telemetry: cannot create %s: %s", opts_.out_dir.c_str(),
+            ec.message().c_str());
+    return false;
+  }
+  const std::string dir = opts_.out_dir + "/";
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  bool ok = true;
+  ok &= obs::write_text_file(dir + "metrics.prom", obs::prometheus_text(snap));
+  ok &= obs::write_text_file(dir + "snapshot.json", obs::snapshot_json(snap) + "\n");
+  ok &= series_.write_jsonl(dir + "timeseries.jsonl");
+  ok &= obs::TraceBuffer::global().write_chrome_trace(dir + "trace.json");
+  if (!ok) {
+    KDD_LOG(Error, "telemetry: failed writing artifacts under %s",
+            opts_.out_dir.c_str());
+  } else {
+    KDD_LOG(Info, "telemetry: wrote %zu buckets + %zu spans under %s",
+            series_.samples().size(), obs::TraceBuffer::global().spans().size(),
+            opts_.out_dir.c_str());
+  }
+  return ok;
+}
+
+}  // namespace kdd

@@ -1,0 +1,122 @@
+// TelemetrySession: one-stop collector for an instrumented run.
+//
+// The obs layer provides the primitives (MetricsRegistry, TraceBuffer,
+// WearSeries, exporters); this harness-level session knows the concrete
+// sources — a CachePolicy's CacheStats, a KddCache's zone/cleaning/log
+// gauges, an SsdModel's wear state, a FaultInjectingDevice's counters — and
+// turns them into the three machine-readable artifacts the paper's analysis
+// pipeline consumes:
+//
+//   <out_dir>/metrics.prom       Prometheus text exposition (final snapshot)
+//   <out_dir>/snapshot.json      same snapshot as one JSON object
+//   <out_dir>/timeseries.jsonl   WearSeries buckets (traffic deltas + gauges)
+//   <out_dir>/trace.json         Chrome trace_event JSON of the span ring
+//
+// Lifecycle: construct (enables span tracing, resets the global registry so
+// the snapshot covers exactly this run), attach sources, feed completions
+// via on_request() — typically wired to EventSimulator::set_request_observer
+// — then finish() to flush the artifacts and disable tracing.
+//
+// Buckets close every Options::ops_per_bucket completed requests; each
+// WearSample carries the *delta* of every cumulative counter over the bucket
+// plus point-in-time gauges, so integrating a column over the series
+// reproduces the end-of-run totals (the validator checks this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_stats.hpp"
+#include "cache/policy.hpp"
+#include "common/units.hpp"
+#include "obs/wear.hpp"
+
+namespace kdd {
+
+class KddCache;
+class SsdModel;
+struct FaultCounters;
+
+class TelemetrySession {
+ public:
+  struct Options {
+    std::string out_dir = "telemetry";
+    /// Completed requests per WearSample bucket.
+    std::uint64_t ops_per_bucket = 2048;
+    /// Span ring capacity while the session is live. 64 Ki spans keeps the
+    /// Chrome trace artifact under ~10 MB; the ring keeps the newest spans.
+    std::size_t trace_capacity = 1u << 16;
+    /// Trace 1-in-N requests (see TraceBuffer::set_sample_period). 64 keeps
+    /// the instrumented replay inside the perf gate's 5% overhead budget
+    /// with margin for machine noise, while a replay still samples thousands
+    /// of requests; set to 1 to trace every request.
+    std::uint32_t trace_sample_period = 64;
+    /// What the sample's `t` field counts ("sim_us" for EventSimulator runs).
+    std::string t_unit = "sim_us";
+  };
+
+  explicit TelemetrySession(Options opts);
+  ~TelemetrySession();  ///< disables tracing if finish() was never called
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  // -- Sources (not owned; optional; must outlive finish()) -----------------
+  void attach_policy(CachePolicy* policy);
+  void attach_kdd(KddCache* kdd);
+  void attach_ssd(const SsdModel* ssd);
+  void attach_fault_counters(const FaultCounters* counters);
+
+  /// Request-completion hook (EventSimulator::set_request_observer). `now_us`
+  /// is the simulated completion time, `latency_us` the request's latency.
+  /// Inline: this runs once per simulated request, so the common case (bucket
+  /// not yet full) must stay a handful of adds; only the bucket close — once
+  /// every ops_per_bucket requests — takes the out-of-line path.
+  void on_request(std::uint64_t now_us, std::uint64_t latency_us) {
+    ++bucket_ops_;
+    latency_sum_us_ += static_cast<double>(latency_us);
+    if (latency_us > latency_max_us_) latency_max_us_ = latency_us;
+    last_t_ = static_cast<double>(now_us);
+    if (bucket_ops_ >= opts_.ops_per_bucket) close_bucket(last_t_);
+  }
+
+  /// Closes the in-progress bucket (no-op when it is empty).
+  void close_bucket(double t);
+
+  /// Flushes the four artifacts into out_dir and disables tracing. Returns
+  /// false if any file could not be written. Idempotent.
+  bool finish();
+
+  const obs::WearSeries& series() const { return series_; }
+
+ private:
+  void poll_sources(obs::WearSample& sample);
+
+  Options opts_;
+  obs::WearSeries series_;
+
+  CachePolicy* policy_ = nullptr;
+  KddCache* kdd_ = nullptr;
+  const SsdModel* ssd_ = nullptr;
+  const FaultCounters* faults_ = nullptr;
+
+  // In-progress bucket accumulators.
+  std::uint64_t bucket_ops_ = 0;
+  double latency_sum_us_ = 0.0;
+  std::uint64_t latency_max_us_ = 0;
+  double last_t_ = 0.0;
+
+  // Previous cumulative values (for per-bucket deltas).
+  CacheStats prev_stats_;
+  std::uint64_t prev_log_gc_ = 0;
+  std::uint64_t prev_fallbacks_ = 0;
+  std::uint64_t prev_healed_ = 0;
+  std::uint64_t prev_media_errors_ = 0;
+  std::uint64_t prev_transient_ = 0;
+  std::uint64_t prev_corruptions_ = 0;
+  std::uint64_t prev_repairs_ = 0;
+
+  bool finished_ = false;
+};
+
+}  // namespace kdd

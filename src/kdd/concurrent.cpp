@@ -47,30 +47,67 @@ void ConcurrentCache::touch_idle_clock() {
 }
 
 IoStatus ConcurrentCache::read(Lba lba, std::span<std::uint8_t> out) {
-  const std::lock_guard<std::mutex> stripe(stripe_mu_[stripe_of(lba)]);
-  front_reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t s = stripe_of(lba);
+  const std::lock_guard<std::mutex> stripe(stripe_mu_[s]);
+  shards_[s].reads.fetch_add(1, std::memory_order_relaxed);
   touch_idle_clock();
   const std::lock_guard<std::mutex> lock(mu_);
-  return policy_->read(lba, out, nullptr);
+  const IoStatus st = policy_->read(lba, out, nullptr);
+  if (st != IoStatus::kOk) {
+    shards_[s].read_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
 }
 
 IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
-  const std::lock_guard<std::mutex> stripe(stripe_mu_[stripe_of(lba)]);
-  front_writes_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t s = stripe_of(lba);
+  const std::lock_guard<std::mutex> stripe(stripe_mu_[s]);
+  shards_[s].writes.fetch_add(1, std::memory_order_relaxed);
   touch_idle_clock();
   const std::lock_guard<std::mutex> lock(mu_);
-  return policy_->write(lba, data, nullptr);
+  const IoStatus st = policy_->write(lba, data, nullptr);
+  if (st != IoStatus::kOk) {
+    shards_[s].write_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
 }
 
 void ConcurrentCache::flush() {
   touch_idle_clock();
+  flushes_.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mu_);
   policy_->flush(nullptr);
+  publish_snapshot_locked();
+}
+
+void ConcurrentCache::publish_snapshot_locked() const {
+  CacheStats s = policy_->stats();
+  const std::lock_guard<std::mutex> snap(snap_mu_);
+  last_snapshot_ = s;
 }
 
 CacheStats ConcurrentCache::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return policy_->stats();
+  publish_snapshot_locked();
+  const std::lock_guard<std::mutex> snap(snap_mu_);
+  return last_snapshot_;
+}
+
+CacheStats ConcurrentCache::stats_snapshot() const {
+  const std::lock_guard<std::mutex> snap(snap_mu_);
+  return last_snapshot_;
+}
+
+ConcurrentCache::FrontStats ConcurrentCache::front_stats() const {
+  FrontStats out;
+  for (const StripeShard& sh : shards_) {
+    out.reads += sh.reads.load(std::memory_order_relaxed);
+    out.writes += sh.writes.load(std::memory_order_relaxed);
+    out.read_errors += sh.read_errors.load(std::memory_order_relaxed);
+    out.write_errors += sh.write_errors.load(std::memory_order_relaxed);
+  }
+  out.flushes = flushes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void ConcurrentCache::cleaner_main() {
@@ -87,6 +124,7 @@ void ConcurrentCache::cleaner_main() {
     if (idle_for >= idle_wakeup_) {
       policy_->on_idle(nullptr);
       cleaner_passes_.fetch_add(1);
+      publish_snapshot_locked();  // refresh the lock-free stats snapshot
     }
   }
 }

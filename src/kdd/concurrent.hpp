@@ -47,9 +47,14 @@ class ConcurrentCache {
   static constexpr std::size_t kStripes = 16;
 
   /// Lock-free front-door counters (sampled without the policy mutex).
+  /// Merged from per-stripe shards, so hot-path recording never shares a
+  /// cache line across stripes and nothing is dropped under contention.
   struct FrontStats {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    std::uint64_t read_errors = 0;   ///< non-OK statuses returned to callers
+    std::uint64_t write_errors = 0;
+    std::uint64_t flushes = 0;
   };
 
   /// `policy` is not owned and must outlive the facade. `idle_wakeup` is the
@@ -77,21 +82,39 @@ class ConcurrentCache {
   /// Drains all deferred state (blocking).
   void flush();
 
+  /// Exact policy stats (takes the policy mutex; waits for in-flight
+  /// requests). Also refreshes the lock-free snapshot below.
   CacheStats stats() const;
 
-  /// Front-door request counters (atomic reads; never blocks on the policy).
-  FrontStats front_stats() const {
-    return {front_reads_.load(std::memory_order_relaxed),
-            front_writes_.load(std::memory_order_relaxed)};
-  }
+  /// Last published policy stats — refreshed by every cleaner idle pass,
+  /// flush() and stats() call — WITHOUT touching the policy mutex, so
+  /// telemetry can poll it while requests are in flight. Values trail the
+  /// exact stats by at most one cleaner period.
+  CacheStats stats_snapshot() const;
+
+  /// Front-door request counters, merged across the per-stripe shards
+  /// (relaxed atomic reads; never blocks on the policy).
+  FrontStats front_stats() const;
 
   /// Number of idle passes the cleaner has run.
   std::uint64_t cleaner_passes() const { return cleaner_passes_.load(); }
 
  private:
+  /// Per-stripe front-door counters, cache-line separated so the 16 stripes
+  /// never false-share while recording.
+  struct alignas(64) StripeShard {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> read_errors{0};
+    std::atomic<std::uint64_t> write_errors{0};
+  };
+
   void cleaner_main();
   std::size_t stripe_of(Lba lba) const;
   void touch_idle_clock();
+  /// Copies the policy's stats into the lock-free snapshot slot. Caller must
+  /// hold mu_.
+  void publish_snapshot_locked() const;
 
   CachePolicy* policy_;
   const RaidLayout* layout_;  // may be null: stripe by raw LBA
@@ -99,8 +122,13 @@ class ConcurrentCache {
 
   // Front tier: striped by parity group.
   std::array<std::mutex, kStripes> stripe_mu_;
-  std::atomic<std::uint64_t> front_reads_{0};
-  std::atomic<std::uint64_t> front_writes_{0};
+  std::array<StripeShard, kStripes> shards_;
+  std::atomic<std::uint64_t> flushes_{0};
+
+  // Published-stats slot: written under snap_mu_ by whoever holds mu_,
+  // read by stats_snapshot() with only snap_mu_ (policy mutex never needed).
+  mutable std::mutex snap_mu_;
+  mutable CacheStats last_snapshot_;
 
   // Inner tier: the policy mutex (also guards stop_ for the cleaner's cv).
   mutable std::mutex mu_;

@@ -7,6 +7,9 @@
 
 #include "common/check.hpp"
 #include "common/page_arena.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace kdd {
 
@@ -14,6 +17,28 @@ namespace {
 
 CacheLayoutPlan kdd_layout(const PolicyConfig& config) {
   return plan_cache_layout(config, /*needs_metadata=*/true);
+}
+
+/// Global-registry mirrors of KDD's self-healing counters (the per-instance
+/// members stay authoritative for tests; these feed the exporters).
+struct KddMetrics {
+  obs::Counter media_fallbacks;
+  obs::Counter delta_fallbacks;
+  obs::Counter groups_healed;
+  obs::Counter recoveries;
+};
+
+KddMetrics& kdd_metrics() {
+  static KddMetrics* m = [] {
+    auto* km = new KddMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    km->media_fallbacks = obs::Counter(&reg, "kdd_media_fallbacks_total");
+    km->delta_fallbacks = obs::Counter(&reg, "kdd_delta_fallbacks_total");
+    km->groups_healed = obs::Counter(&reg, "kdd_groups_healed_total");
+    km->recoveries = obs::Counter(&reg, "kdd_recoveries_total");
+    return km;
+  }();
+  return *m;
 }
 
 }  // namespace
@@ -56,6 +81,12 @@ bool KddCache::admit(Lba lba) {
   return ghost_->touch_and_check(lba);
 }
 
+void KddCache::note_media_fallback(const char* what) {
+  ++media_fallbacks_;
+  kdd_metrics().media_fallbacks.inc();
+  KDD_LOG(Debug, "media fallback: %s", what);
+}
+
 void KddCache::add_map_entry(std::uint32_t idx, IoPlan* plan) {
   const CacheSets::CacheSlot& s = sets_.slot(idx);
   MetadataEntry e;
@@ -86,6 +117,7 @@ void KddCache::on_evict_slot(std::uint32_t idx) {
 KddCache::DeltaInfo KddCache::compute_delta(std::uint32_t daz_idx,
                                             std::span<const std::uint8_t> data,
                                             IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kDeltaEncode);
   DeltaInfo info;
   if (ssd_.real()) {
     ScratchPage old_version;  // arena scratch: no allocation once warm
@@ -145,6 +177,7 @@ void KddCache::stage_delta(Lba lba, std::uint32_t daz_idx, DeltaInfo info,
 void KddCache::commit_staging(IoPlan* plan) {
   std::vector<StagedDelta> all = nvram_->staging.take_all();
   if (all.empty()) return;
+  const obs::SpanScope span(obs::Stage::kDezCommit);
 
   // First-fit packing into DEZ pages, preserving FIFO order.
   std::size_t pos = 0;
@@ -193,7 +226,7 @@ void KddCache::commit_staging(IoPlan* plan) {
     if (wst != IoStatus::kOk) {
       // DEZ page unwritable (media error / power loss): fold this batch's
       // deltas into parity synchronously instead of mapping a bad page.
-      ++media_fallbacks_;
+      note_media_fallback("dez page unwritable at commit");
       ssd_.trim_data(dez);
       for (std::size_t i = pos; i < end; ++i) {
         DeltaInfo info;
@@ -318,7 +351,7 @@ void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override
       if (!load_delta(slot, d, plan)) {
         // Delta lost to a cache-media fault: RMW would fold garbage into
         // parity. Discard the group's deltas and reconstruct parity instead.
-        ++media_fallbacks_;
+        note_media_fallback("delta unreadable at resolve");
         heal_group(g, plan);
         return;
       }
@@ -334,7 +367,7 @@ void KddCache::resolve_and_drop(std::uint32_t daz_idx, const DeltaInfo* override
       raid_.update_parity_rmw(g, std::span<const GroupDelta>(&gd, 1), plan,
                               /*finalize=*/last_in_group);
   if (st != IoStatus::kOk) {
-    ++media_fallbacks_;
+    note_media_fallback("parity rmw failed at resolve");
     heal_group(g, plan);
     return;
   }
@@ -365,6 +398,10 @@ void KddCache::note_group_repair(GroupId g) {
 }
 
 void KddCache::heal_group(GroupId g, IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kHeal);
+  KDD_LOG(Warn, "heal_group g=%llu: discarding pending deltas, "
+          "reconstructing parity from data members",
+          static_cast<unsigned long long>(g));
   // Every pending delta of `g` is discarded: the RAID copy of each data
   // member is always current (writes reach the array via write_page_nopar
   // *before* their delta is staged), so parity can be regenerated from the
@@ -381,6 +418,7 @@ void KddCache::heal_group(GroupId g, IoPlan* plan) {
     }
   }
   ++groups_healed_;
+  kdd_metrics().groups_healed.inc();
   if (raid_.group_stale(g)) {
     // Best effort: if the reconstruct itself fails (e.g. power loss mid
     // request) the group simply stays stale for recovery to resync.
@@ -394,9 +432,14 @@ void KddCache::heal_group(GroupId g, IoPlan* plan) {
 // ---------------------------------------------------------------------------
 
 IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
+  const obs::TraceContextScope trace;  // request root span + ambient context
   ++op_counter_;
   const std::uint32_t set = set_for(lba);
-  const std::uint32_t idx = sets_.find_data(set, lba);
+  std::uint32_t idx;
+  {
+    const obs::SpanScope lookup(obs::Stage::kCacheLookup);
+    idx = sets_.find_data(set, lba);
+  }
   if (idx != CacheSets::kNone) {
     ++stats_.read_hits;
     CacheSets::CacheSlot& slot = sets_.slot(idx);
@@ -406,7 +449,7 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
       if (st == IoStatus::kOk) return IoStatus::kOk;
       // Cache copy unreadable — a clean page is by definition a copy of the
       // RAID contents, so serve from the array and retire the bad slot.
-      ++media_fallbacks_;
+      note_media_fallback("clean daz page unreadable on read hit");
       ssd_.trim_data(idx);
       sets_.reset_slot(idx);
       on_evict_slot(idx);
@@ -422,7 +465,7 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
         // DAZ base or delta unreadable. The array already holds the newest
         // contents (write hits go to RAID before delta staging), so heal the
         // group and serve from the array.
-        ++media_fallbacks_;
+        note_media_fallback("old page/delta unreadable on read hit");
         heal_group(raid_.layout().group_of(lba), plan);
         return raid_.read_page(lba, out, plan);
       }
@@ -442,7 +485,7 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   if (slot == CacheSets::kNone) return IoStatus::kOk;  // set pinned solid
   if (ssd_.write_data(slot, SsdWriteKind::kReadFill, out, plan) != IoStatus::kOk) {
     // Admission failed (torn / failed cache write): never map a bad page.
-    ++media_fallbacks_;
+    note_media_fallback("read-fill admission write failed");
     ssd_.trim_data(slot);
     sets_.reset_slot(slot);
     return IoStatus::kOk;
@@ -454,9 +497,14 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
 }
 
 IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) {
+  const obs::TraceContextScope trace;  // request root span + ambient context
   ++op_counter_;
   const std::uint32_t set = set_for(lba);
-  const std::uint32_t idx = sets_.find_data(set, lba);
+  std::uint32_t idx;
+  {
+    const obs::SpanScope lookup(obs::Stage::kCacheLookup);
+    idx = sets_.find_data(set, lba);
+  }
 
   if (idx == CacheSets::kNone) {
     // Write miss: conventional parity update, then admit into DAZ.
@@ -468,7 +516,7 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     if (slot == CacheSets::kNone) return IoStatus::kOk;
     if (ssd_.write_data(slot, SsdWriteKind::kWriteAlloc, data, plan) !=
         IoStatus::kOk) {
-      ++media_fallbacks_;
+      note_media_fallback("write-alloc admission write failed");
       ssd_.trim_data(slot);
       sets_.reset_slot(slot);
       return IoStatus::kOk;  // the array already has the data
@@ -487,7 +535,7 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     if (!info.ok) {
       // DAZ copy unreadable: rewrite it with the new contents (which also
       // heals a latent sector error) and keep parity maintenance synchronous.
-      ++media_fallbacks_;
+      note_media_fallback("daz base unreadable on clean write hit");
       if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
           IoStatus::kOk) {
         sets_.lru_touch(idx);
@@ -501,11 +549,12 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     if (info.packed > kPageSize) {
       // Incompressible delta: no benefit in deferring — stay write-through.
       ++delta_fallbacks_;
+  kdd_metrics().delta_fallbacks.inc();
       if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
           IoStatus::kOk) {
         sets_.lru_touch(idx);
       } else {
-        ++media_fallbacks_;
+        note_media_fallback("write-update rewrite failed");
         ssd_.trim_data(idx);
         sets_.reset_slot(idx);
         on_evict_slot(idx);
@@ -526,7 +575,7 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     // The old page's DAZ base is gone, so neither the previous delta chain
     // nor a new delta can be trusted. Heal the whole group (the array holds
     // the newest data), then write conventionally and re-admit clean.
-    ++media_fallbacks_;
+    note_media_fallback("daz base unreadable on old write hit");
     heal_group(raid_.layout().group_of(lba), plan);
     const IoStatus st = raid_.write_page(lba, data, plan);
     if (st != IoStatus::kOk) return st;
@@ -549,6 +598,7 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   if (st != IoStatus::kOk) return st;
   if (info.packed > kPageSize) {
     ++delta_fallbacks_;
+  kdd_metrics().delta_fallbacks.inc();
     resolve_and_drop(idx, &info, plan);
     return IoStatus::kOk;
   }
@@ -568,6 +618,7 @@ void KddCache::maybe_clean(IoPlan* plan) {
       config_.clean_high_watermark * static_cast<double>(sets_.pages()));
   if (old_pages_ + dez_pages_ <= high) return;
   cleaning_ = true;
+  const obs::SpanScope span(obs::Stage::kClean);
   IoPlan* clean_plan = bg_or(plan);  // cleaning runs in the background thread
   const auto low = static_cast<std::uint64_t>(
       config_.clean_low_watermark * static_cast<double>(sets_.pages()));
@@ -581,6 +632,8 @@ void KddCache::maybe_clean(IoPlan* plan) {
 void KddCache::clean_all(IoPlan* plan) {
   if (cleaning_) return;
   cleaning_ = true;
+  // No kClean span here: the callers (on_idle, flush, failure handling)
+  // install the root that attributes this pass.
   while (!dirty_groups_.empty()) {
     if (!clean_group(dirty_groups_.begin()->first, plan)) break;
   }
@@ -628,13 +681,13 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
         if (ssd_.read_data(member_slots[k], data[k], plan) != IoStatus::kOk) {
           // Unreadable cache copy: leave ptrs[k] null so the array reads the
           // member from disk (which is current for clean AND old pages).
-          ++media_fallbacks_;
+          note_media_fallback("member daz unreadable while cleaning");
           continue;
         }
         if (ms.state == PageState::kOld) {
           Delta d;
           if (!load_delta(ms, d, plan)) {
-            ++media_fallbacks_;
+            note_media_fallback("member delta unreadable while cleaning");
             continue;
           }
           // Fold the delta in place: DAZ base ^ raw XOR == current version.
@@ -648,7 +701,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
     }
     const IoStatus st = raid_.update_parity_reconstruct_cached(g, ptrs, plan);
     if (st != IoStatus::kOk) {
-      ++media_fallbacks_;
+      note_media_fallback("reconstruct-write failed while cleaning");
       heal_group(g, plan);
       return !dirty_groups_.contains(g);
     }
@@ -663,7 +716,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
         Delta d;
         if (!load_delta(s, d, plan)) {
           // One lost delta poisons the whole RMW: heal the group instead.
-          ++media_fallbacks_;
+          note_media_fallback("delta unreadable for cleaning rmw");
           heal_group(g, plan);
           return !dirty_groups_.contains(g);
         }
@@ -675,7 +728,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
     }
     const IoStatus st = raid_.update_parity_rmw(g, deltas, plan);
     if (st != IoStatus::kOk) {
-      ++media_fallbacks_;
+      note_media_fallback("parity rmw failed while cleaning");
       heal_group(g, plan);
       return !dirty_groups_.contains(g);
     }
@@ -696,7 +749,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
         if (!readable) {
           // Cannot rebuild the combined page: fall back to scheme-2 drop
           // (parity for the group is already up to date at this point).
-          ++media_fallbacks_;
+          note_media_fallback("combined page unreadable at reclaim");
           invalidate_delta(os, plan);
           drop_old_page(os, plan);
           continue;
@@ -706,7 +759,7 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
         invalidate_delta(os, plan);
         if (ssd_.write_data(os, SsdWriteKind::kWriteUpdate, current, plan) !=
             IoStatus::kOk) {
-          ++media_fallbacks_;
+          note_media_fallback("reclaim rewrite failed");
           drop_old_page(os, plan);
           continue;
         }
@@ -730,12 +783,18 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
 }
 
 void KddCache::flush(IoPlan* plan) {
+  const obs::TraceContextScope trace(obs::Stage::kClean);  // background root
   clean_all(plan);
   KDD_CHECK(nvram_->staging.empty());
   log_.commit_buffer(plan);
 }
 
-void KddCache::on_idle(IoPlan* plan) { clean_all(plan); }
+void KddCache::on_idle(IoPlan* plan) {
+  // Background root: nested cleaning spans sample at the request period
+  // instead of recording every pass wholesale.
+  const obs::TraceContextScope trace(obs::Stage::kClean);
+  clean_all(plan);
+}
 
 // ---------------------------------------------------------------------------
 // Failure handling (Section III-E)
@@ -743,6 +802,10 @@ void KddCache::on_idle(IoPlan* plan) { clean_all(plan); }
 
 std::uint64_t KddCache::handle_disk_failure(std::uint32_t disk) {
   KDD_CHECK(raid_.real());
+  // Forced root: failure handling is rare and high-value, so it is traced
+  // even under aggressive request sampling.
+  const obs::TraceContextScope trace(obs::Stage::kRecovery, /*always_sample=*/true);
+  KDD_LOG(Info, "disk %u failed: cleaning stale parity, then rebuilding", disk);
   raid_.array()->fail_disk(disk);
   // First bring every stale parity up to date through the parity_update
   // interface, then rebuild at the RAID layer.
@@ -752,6 +815,8 @@ std::uint64_t KddCache::handle_disk_failure(std::uint32_t disk) {
 
 std::uint64_t KddCache::handle_ssd_failure() {
   KDD_CHECK(raid_.real() && ssd_.real());
+  const obs::TraceContextScope trace(obs::Stage::kRecovery, /*always_sample=*/true);
+  KDD_LOG(Info, "cache ssd failed: resyncing stale groups, restarting cold");
   ssd_.device()->fail();
   // Data blocks were always dispatched to RAID, so reconstruct-write over the
   // stale groups resynchronises the array without the cache.
@@ -855,6 +920,10 @@ void KddCache::check_invariants() const {
 
 void KddCache::recover() {
   KDD_CHECK(ssd_.real());
+  // Forced root: power-failure recovery runs once and must show up in the
+  // trace regardless of the sampling period.
+  const obs::TraceContextScope trace(obs::Stage::kRecovery, /*always_sample=*/true);
+  kdd_metrics().recoveries.inc();
   // 1. Head/tail counters come from NVRAM (already in nvram_). Rebuild the
   //    log's in-memory page lists and replay the committed entries.
   log_.rebuild_after_recovery();
@@ -924,7 +993,7 @@ void KddCache::recover() {
     s.dez_len = static_cast<std::uint16_t>(sd.packed_size);
   }
   for (const Lba lba : orphaned) {
-    ++media_fallbacks_;
+    note_media_fallback("orphaned staged delta at recovery");
     nvram_->staging.erase(lba);
     heal_group(raid_.layout().group_of(lba), nullptr);
   }
@@ -946,7 +1015,7 @@ void KddCache::recover() {
             raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk &&
             std::equal(daz.begin(), daz.end(), truth.begin());
         if (!good) {
-          ++media_fallbacks_;
+          note_media_fallback("clean page failed torn-page audit");
           ssd_.trim_data(i);
           sets_.reset_slot(i);
           on_evict_slot(i);
@@ -964,7 +1033,7 @@ void KddCache::recover() {
       }
     }
     for (const GroupId g : bad_groups) {
-      ++media_fallbacks_;
+      note_media_fallback("old page failed torn-page audit");
       heal_group(g, nullptr);
     }
 
@@ -975,6 +1044,13 @@ void KddCache::recover() {
       if (!dirty_groups_.contains(g)) raid_.array()->resync_group(g);
     }
   }
+  KDD_LOG(Info,
+          "recovery complete: old=%llu dez=%llu staged=%llu dirty_groups=%zu "
+          "healed=%llu",
+          static_cast<unsigned long long>(old_pages_),
+          static_cast<unsigned long long>(dez_pages_),
+          static_cast<unsigned long long>(nvram_->staging.size()),
+          dirty_groups_.size(), static_cast<unsigned long long>(groups_healed_));
 }
 
 }  // namespace kdd

@@ -1,0 +1,206 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace kdd::obs {
+
+namespace {
+
+/// Family name = metric name up to the first '{' (Prometheus TYPE comments
+/// apply to the family, not to one labelled series).
+std::string_view family_of(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+/// Emits "# TYPE <family> <kind>" once per family (input is sorted by name,
+/// so equal families are adjacent).
+void maybe_type_line(std::string& out, std::string_view family,
+                     const char* kind, std::string* last_family) {
+  if (*last_family == family) return;
+  *last_family = std::string(family);
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+/// `foo` -> `foo{quantile="0.5"}`; `foo{a="b"}` -> `foo{a="b",quantile="0.5"}`.
+std::string with_quantile_label(std::string_view name, const char* q) {
+  std::string out;
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    out = std::string(name) + "{quantile=\"" + q + "\"}";
+    return out;
+  }
+  // Insert before the closing brace.
+  out = std::string(name.substr(0, name.size() - 1));
+  out += ",quantile=\"";
+  out += q;
+  out += "\"}";
+  return out;
+}
+
+void append_line_u64(std::string& out, std::string_view name,
+                     std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " %llu\n",
+                static_cast<unsigned long long>(v));
+  out += name;
+  out += buf;
+}
+
+void append_line_i64(std::string& out, std::string_view name, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " %lld\n", static_cast<long long>(v));
+  out += name;
+  out += buf;
+}
+
+void append_line_f64(std::string& out, std::string_view name, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, " %.6g\n", v);
+  out += name;
+  out += buf;
+}
+
+struct HistSummary {
+  std::uint64_t count;
+  double sum_us;
+  std::uint64_t p50;
+  std::uint64_t p90;
+  std::uint64_t p99;
+  std::uint64_t max;
+};
+
+HistSummary summarize(const LatencyHistogram& h) {
+  HistSummary s{};
+  s.count = h.count();
+  s.sum_us = h.mean_us() * static_cast<double>(h.count());
+  s.p50 = h.percentile_us(0.5);
+  s.p90 = h.percentile_us(0.9);
+  s.p99 = h.percentile_us(0.99);
+  s.max = h.max_us();
+  return s;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(snap.counters.size() * 64 + snap.gauges.size() * 48 +
+              snap.histograms.size() * 256 + 64);
+
+  std::string last_family;
+  for (const MetricsSnapshot::CounterValue& c : snap.counters) {
+    maybe_type_line(out, family_of(c.name), "counter", &last_family);
+    append_line_u64(out, c.name, c.value);
+  }
+  last_family.clear();
+  for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
+    maybe_type_line(out, family_of(g.name), "gauge", &last_family);
+    append_line_i64(out, g.name, g.value);
+  }
+  for (const MetricsSnapshot::HistogramValue& h : snap.histograms) {
+    const HistSummary s = summarize(h.hist);
+    const std::string_view fam = family_of(h.name);
+    out += "# TYPE ";
+    out += fam;
+    out += " summary\n";
+    append_line_u64(out, with_quantile_label(h.name, "0.5"), s.p50);
+    append_line_u64(out, with_quantile_label(h.name, "0.9"), s.p90);
+    append_line_u64(out, with_quantile_label(h.name, "0.99"), s.p99);
+    append_line_f64(out, std::string(h.name) + "_sum", s.sum_us);
+    append_line_u64(out, std::string(h.name) + "_count", s.count);
+    out += "# TYPE ";
+    out += fam;
+    out += "_max gauge\n";
+    append_line_u64(out, std::string(h.name) + "_max", s.max);
+  }
+  return out;
+}
+
+std::string snapshot_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"schema\":\"";
+  out += kSnapshotSchema;
+  out += "\",\"counters\":{";
+  char buf[48];
+  bool first = true;
+  for (const MetricsSnapshot::CounterValue& c : snap.counters) {
+    if (!first) out += ',';
+    out += '"';
+    append_json_escaped(out, c.name);
+    std::snprintf(buf, sizeof buf, "\":%llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
+    if (!first) out += ',';
+    out += '"';
+    append_json_escaped(out, g.name);
+    std::snprintf(buf, sizeof buf, "\":%lld", static_cast<long long>(g.value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const MetricsSnapshot::HistogramValue& h : snap.histograms) {
+    const HistSummary s = summarize(h.hist);
+    if (!first) out += ',';
+    out += '"';
+    append_json_escaped(out, h.name);
+    out += "\":{";
+    std::snprintf(buf, sizeof buf, "\"count\":%llu",
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"mean_us\":%.6g",
+                  s.count ? s.sum_us / static_cast<double>(s.count) : 0.0);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"p50_us\":%llu",
+                  static_cast<unsigned long long>(s.p50));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"p99_us\":%llu",
+                  static_cast<unsigned long long>(s.p99));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"max_us\":%llu}",
+                  static_cast<unsigned long long>(s.max));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return n == body.size();
+}
+
+}  // namespace kdd::obs

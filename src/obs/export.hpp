@@ -1,0 +1,39 @@
+// Machine-readable exporters for MetricsSnapshot.
+//
+//  * prometheus_text(): Prometheus text exposition format v0.0.4. Counter and
+//    gauge names may carry embedded labels (`kdd_span_stage_count{stage=
+//    "rmw"}`); the exporter splits the family name at '{' for the `# TYPE`
+//    comment and emits each TYPE line once per family. Histograms are
+//    exported as summaries (quantile series + _sum/_count/_max) because the
+//    log-bucketed LatencyHistogram answers quantile queries directly.
+//  * snapshot_json(): one JSON object (single line) carrying every counter,
+//    gauge and histogram summary — the machine-readable sibling used by the
+//    JSONL artifacts and the telemetry validator.
+//  * write_text_file(): tiny fopen/fwrite helper shared by the exporters'
+//    call sites.
+//
+// Exports are deterministic: MetricsSnapshot is sorted by name, and the
+// exporters add no reordering of their own.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace kdd::obs {
+
+/// Prometheus text exposition of the snapshot (counters, gauges, histogram
+/// summaries). Ends with a trailing newline.
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+/// Single-line JSON object: {"schema":...,"counters":{...},"gauges":{...},
+/// "histograms":{name:{count,mean_us,p50_us,p99_us,max_us}}}.
+std::string snapshot_json(const MetricsSnapshot& snap);
+
+/// Schema tag embedded in snapshot_json().
+inline constexpr const char* kSnapshotSchema = "kdd-telemetry-snapshot-v1";
+
+/// Writes `body` to `path`, returns false on any I/O failure.
+bool write_text_file(const std::string& path, const std::string& body);
+
+}  // namespace kdd::obs

@@ -1,0 +1,84 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/span.hpp"
+
+namespace kdd::obs {
+
+namespace {
+
+int level_from_env() {
+  const char* env = std::getenv("KDD_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return static_cast<int>(LogLevel::kWarn);
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') return env[0] - '0';
+  struct Name {
+    const char* name;
+    LogLevel level;
+  };
+  static constexpr Name kNames[] = {
+      {"error", LogLevel::kError}, {"warn", LogLevel::kWarn},
+      {"info", LogLevel::kInfo},   {"debug", LogLevel::kDebug},
+      {"trace", LogLevel::kTrace},
+  };
+  for (const Name& n : kNames) {
+    if (std::strcmp(env, n.name) == 0) return static_cast<int>(n.level);
+  }
+  std::fprintf(stderr, "[kdd/warn] unrecognised KDD_LOG_LEVEL=%s (using warn)\n",
+               env);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{level_from_env()};
+  return level;
+}
+
+std::atomic<std::uint64_t> g_emitted{0};
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+void log_vprintf(LogLevel level, const char* fmt, va_list args) {
+  char msg[512];
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  std::fprintf(stderr, "[kdd/%s] %s\n", log_level_name(level), msg);
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+  // Mirror into the trace buffer so flamegraphs carry the diagnostics.
+  if (TraceBuffer::enabled()) {
+    TraceBuffer::global().instant(std::string(log_level_name(level)) + ": " + msg);
+  }
+}
+
+void log_printf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  log_vprintf(level, fmt, args);
+  va_end(args);
+}
+
+std::uint64_t log_messages_emitted() {
+  return g_emitted.load(std::memory_order_relaxed);
+}
+
+}  // namespace kdd::obs

@@ -1,0 +1,57 @@
+// Tiny leveled logger for diagnostics (NOT for bench/table output, which is
+// the binaries' product and stays on stdout).
+//
+//  * Level comes from the KDD_LOG_LEVEL environment variable — "error",
+//    "warn", "info", "debug", "trace" or 0..4 — read once at first use;
+//    set_log_level() overrides it programmatically. Default: warn.
+//  * Messages go to stderr as "[kdd/<level>] <msg>\n".
+//  * Every emitted message is also mirrored into the observability trace
+//    buffer (obs/span.hpp) as a Chrome instant event when tracing is on, so
+//    a flamegraph shows *why* a request stalled (e.g. "heal_group g=12")
+//    inline with its spans.
+//
+// KDD_LOG(level, fmt, ...) compiles to a single branch when the level is
+// filtered out — cheap enough for fault paths in the data plane.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+
+namespace kdd::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Current threshold (messages at or below it are emitted).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style emit (unconditional; use KDD_LOG for the filtered path).
+void log_printf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void log_vprintf(LogLevel level, const char* fmt, va_list args);
+
+/// Messages emitted since process start (all levels; tests assert on this).
+std::uint64_t log_messages_emitted();
+
+}  // namespace kdd::obs
+
+/// Filtered logging macro: KDD_LOG(Warn, "media error on page %llu", p).
+#define KDD_LOG(level, ...)                                            \
+  do {                                                                 \
+    if (::kdd::obs::log_enabled(::kdd::obs::LogLevel::k##level)) {     \
+      ::kdd::obs::log_printf(::kdd::obs::LogLevel::k##level,           \
+                             __VA_ARGS__);                             \
+    }                                                                  \
+  } while (0)

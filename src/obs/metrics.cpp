@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kdd::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_registry_serial{1};
+
+/// Thread-local cache of (registry serial -> shard index). One entry: the
+/// common case is a thread recording into exactly one registry (the global
+/// one); switching registries falls back to a round-robin re-assignment,
+/// which is deterministic enough and never dangles (serials are unique).
+struct TlsShardCache {
+  std::uint64_t serial = 0;
+  std::uint32_t shard = 0;
+};
+thread_local TlsShardCache tls_shard_cache;
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const LatencyHistogram* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : gauges_(kMaxGauges),
+      serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed)) {
+  shards_.reserve(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->counters = std::vector<std::atomic<std::uint64_t>>(kMaxCounters);
+    shard->hists.resize(kMaxHistograms);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_thread() {
+  TlsShardCache& c = tls_shard_cache;
+  if (c.serial != serial_) {
+    c.serial = serial_;
+    c.shard = next_shard_.fetch_add(1, std::memory_order_relaxed) % kShards;
+  }
+  return *shards_[c.shard];
+}
+
+MetricId MetricsRegistry::intern(std::vector<std::string>& names,
+                                 std::string_view name, std::size_t cap,
+                                 std::atomic<std::uint32_t>& count) {
+  const std::lock_guard<std::mutex> lock(names_mu_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<MetricId>(i);
+  }
+  KDD_CHECK(names.size() < cap);
+  names.emplace_back(name);
+  count.store(static_cast<std::uint32_t>(names.size()), std::memory_order_release);
+  return static_cast<MetricId>(names.size() - 1);
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return intern(counter_names_, name, kMaxCounters, counter_count_);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return intern(gauge_names_, name, kMaxGauges, gauge_count_);
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name) {
+  return intern(histogram_names_, name, kMaxHistograms, histogram_count_);
+}
+
+void MetricsRegistry::observe(MetricId id, std::uint64_t value) {
+  Shard& shard = shard_for_thread();
+  while (shard.hist_lock.test_and_set(std::memory_order_acquire)) {
+    // Uncontended unless > kShards threads record histograms concurrently.
+  }
+  if (!shard.hists[id]) shard.hists[id] = std::make_unique<LatencyHistogram>();
+  shard.hists[id]->record(value);
+  shard.hist_lock.clear(std::memory_order_release);
+}
+
+std::size_t MetricsRegistry::num_counters() const {
+  return counter_count_.load(std::memory_order_acquire);
+}
+std::size_t MetricsRegistry::num_gauges() const {
+  return gauge_count_.load(std::memory_order_acquire);
+}
+std::size_t MetricsRegistry::num_histograms() const {
+  return histogram_count_.load(std::memory_order_acquire);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  // Copy the name tables under the lock; cell reads are per-cell atomics.
+  std::vector<std::string> counters, gauges, hists;
+  {
+    const std::lock_guard<std::mutex> lock(names_mu_);
+    counters = counter_names_;
+    gauges = gauge_names_;
+    hists = histogram_names_;
+  }
+  snap.counters.resize(counters.size());
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters[i] = {std::move(counters[i]), total};
+  }
+  snap.gauges.resize(gauges.size());
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    snap.gauges[i] = {std::move(gauges[i]),
+                      gauges_[i].load(std::memory_order_relaxed)};
+  }
+  snap.histograms.resize(hists.size());
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    snap.histograms[i].name = std::move(hists[i]);
+    for (const auto& shard : shards_) {
+      while (shard->hist_lock.test_and_set(std::memory_order_acquire)) {
+      }
+      if (shard->hists[i]) snap.histograms[i].hist.merge(*shard->hists[i]);
+      shard->hist_lock.clear(std::memory_order_release);
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    while (shard->hist_lock.test_and_set(std::memory_order_acquire)) {
+    }
+    for (auto& h : shard->hists) {
+      if (h) h->reset();
+    }
+    shard->hist_lock.clear(std::memory_order_release);
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kdd::obs

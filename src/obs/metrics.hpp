@@ -1,0 +1,196 @@
+// MetricsRegistry: named counters, gauges and latency histograms with
+// thread-sharded recording and merge-on-snapshot aggregation.
+//
+// Design goals (docs/observability.md):
+//  * Recording must be lock-cheap so the hot request paths — including the
+//    16 front-door stripes of ConcurrentCache — can count without contention:
+//    counters are per-shard relaxed atomics, where each recording thread is
+//    assigned its own shard (round-robin over kShards; two threads only ever
+//    share a shard beyond kShards concurrent recorders).
+//  * Snapshots merge all shards into a single consistent-enough view. Under
+//    concurrent recording a snapshot is a per-cell-atomic read (no torn
+//    counters, monotone between snapshots); after recorders quiesce (join)
+//    the merge is exact and deterministic, which is what the multi-threaded
+//    recorder stress test asserts.
+//  * Registration is idempotent and cheap to cache: `counter("name")` returns
+//    a stable MetricId; hot code registers once and keeps the id (or a
+//    Counter handle) around.
+//
+// A process-wide registry (MetricsRegistry::global()) is what the core
+// layers (cache, kdd, raid, blockdev) record into; tests build private
+// instances. Recording is always safe — there is no global enable check on
+// the counter path, because a relaxed uncontended fetch_add is a few ns —
+// while the costlier span/trace machinery (obs/span.hpp) has its own gate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace kdd::obs {
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = ~0u;
+
+/// Point-in-time aggregation of a registry: shard-merged counters and
+/// histograms plus gauge values, sorted by name for deterministic export.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    LatencyHistogram hist;  ///< merged across shards
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a counter by exact name; 0 if absent (convenience for tests
+  /// and exporters).
+  std::uint64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const LatencyHistogram* histogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Shard count for counters/histograms. Threads are assigned shards
+  /// round-robin at first use, so up to kShards concurrent recorders never
+  /// share a cache line of counter cells.
+  static constexpr std::size_t kShards = 32;
+  /// Fixed per-kind capacity: cells are preallocated so recording never
+  /// races a reallocation. Registration beyond this aborts (KDD_CHECK).
+  static constexpr std::size_t kMaxCounters = 512;
+  static constexpr std::size_t kMaxGauges = 128;
+  static constexpr std::size_t kMaxHistograms = 64;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry the core layers record into.
+  static MetricsRegistry& global();
+
+  // -- Registration (idempotent; returns a stable id) -------------------------
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name);
+
+  // -- Recording (hot path) ---------------------------------------------------
+  /// Adds `n` to a counter. Relaxed per-shard atomic add; ~single-digit ns.
+  void add(MetricId id, std::uint64_t n = 1) {
+    shard_for_thread().counters[id].fetch_add(n, std::memory_order_relaxed);
+  }
+  void gauge_set(MetricId id, std::int64_t v) {
+    gauges_[id].store(v, std::memory_order_relaxed);
+  }
+  void gauge_add(MetricId id, std::int64_t dv) {
+    gauges_[id].fetch_add(dv, std::memory_order_relaxed);
+  }
+  /// Records a value into a histogram (per-shard histogram + spinlock; the
+  /// lock is uncontended unless more than kShards threads record at once).
+  void observe(MetricId id, std::uint64_t value);
+
+  // -- Aggregation ------------------------------------------------------------
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every counter/gauge/histogram cell (names and ids survive).
+  void reset();
+
+  std::size_t num_counters() const;
+  std::size_t num_gauges() const;
+  std::size_t num_histograms() const;
+
+ private:
+  struct Shard {
+    std::vector<std::atomic<std::uint64_t>> counters;  ///< kMaxCounters cells
+    /// Lazily created per-shard histograms, guarded by one spinlock per shard
+    /// (histograms are ~40 KiB each; preallocating kShards * kMaxHistograms
+    /// would waste tens of MiB).
+    std::atomic_flag hist_lock = ATOMIC_FLAG_INIT;
+    std::vector<std::unique_ptr<LatencyHistogram>> hists;  ///< kMaxHistograms slots
+  };
+
+  Shard& shard_for_thread();
+  MetricId intern(std::vector<std::string>& names, std::string_view name,
+                  std::size_t cap, std::atomic<std::uint32_t>& count);
+
+  mutable std::mutex names_mu_;  ///< guards the three name tables
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::atomic<std::uint32_t> counter_count_{0};
+  std::atomic<std::uint32_t> gauge_count_{0};
+  std::atomic<std::uint32_t> histogram_count_{0};
+
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< fixed kShards, preallocated
+  std::vector<std::atomic<std::int64_t>> gauges_;
+
+  /// Round-robin shard assignment for new threads.
+  std::atomic<std::uint32_t> next_shard_{0};
+  /// Unique id used to key the thread-local shard cache (registry addresses
+  /// can be reused after destruction; serials never are).
+  const std::uint64_t serial_;
+};
+
+/// Cached handles: register once, record forever. Copyable, trivially small.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(MetricsRegistry* r, std::string_view name)
+      : reg_(r), id_(r->counter(name)) {}
+  void inc(std::uint64_t n = 1) const {
+    if (reg_) reg_->add(id_, n);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  MetricId id_ = kInvalidMetric;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(MetricsRegistry* r, std::string_view name)
+      : reg_(r), id_(r->gauge(name)) {}
+  void set(std::int64_t v) const {
+    if (reg_) reg_->gauge_set(id_, v);
+  }
+  void add(std::int64_t dv) const {
+    if (reg_) reg_->gauge_add(id_, dv);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  MetricId id_ = kInvalidMetric;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(MetricsRegistry* r, std::string_view name)
+      : reg_(r), id_(r->histogram(name)) {}
+  void observe(std::uint64_t v) const {
+    if (reg_) reg_->observe(id_, v);
+  }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  MetricId id_ = kInvalidMetric;
+};
+
+}  // namespace kdd::obs

@@ -1,0 +1,310 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace kdd::obs {
+
+namespace {
+
+/// Per-stage aggregate metric ids in the global registry, registered once.
+struct StageMetrics {
+  MetricId ns_total[kNumSpanStages];
+  MetricId count[kNumSpanStages];
+  MetricId request_ns_hist;
+};
+
+StageMetrics& stage_metrics() {
+  static StageMetrics* m = [] {
+    auto* sm = new StageMetrics();
+    MetricsRegistry& reg = MetricsRegistry::global();
+    for (int s = 0; s < kNumSpanStages; ++s) {
+      sm->ns_total[s] =
+          reg.counter(std::string("kdd_span_stage_ns_total{stage=\"") +
+                      stage_name(static_cast<Stage>(s)) + "\"}");
+      sm->count[s] = reg.counter(std::string("kdd_span_stage_count{stage=\"") +
+                                 stage_name(static_cast<Stage>(s)) + "\"}");
+    }
+    sm->request_ns_hist = reg.histogram("kdd_request_ns");
+    return sm;
+  }();
+  return *m;
+}
+
+std::atomic<std::uint64_t> g_next_request_id{1};
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kRequest: return "request";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kDeltaEncode: return "delta_encode";
+    case Stage::kDezCommit: return "dez_commit";
+    case Stage::kRmw: return "rmw";
+    case Stage::kParity: return "parity";
+    case Stage::kDevice: return "device";
+    case Stage::kRetry: return "retry";
+    case Stage::kMetadataLog: return "metadata_log";
+    case Stage::kClean: return "clean";
+    case Stage::kHeal: return "heal";
+    case Stage::kRecovery: return "recovery";
+    case Stage::kNumStages: break;
+  }
+  return "?";
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+std::atomic<bool>& TraceBuffer::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+std::atomic<std::uint32_t>& TraceBuffer::sample_period_flag() {
+  static std::atomic<std::uint32_t> period{1};
+  return period;
+}
+
+void TraceBuffer::set_sample_period(std::uint32_t period) {
+  sample_period_flag().store(period > 0 ? period : 1,
+                             std::memory_order_relaxed);
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* instance = new TraceBuffer();  // never destroyed
+  return *instance;
+}
+
+void TraceBuffer::set_enabled(bool on) {
+  if (on) {
+    // Registering the stage metrics up front keeps the recording path free
+    // of registration locks.
+    stage_metrics();
+  }
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void TraceBuffer::set_capacity(std::size_t spans) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = spans > 0 ? spans : 1;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+void TraceBuffer::record(const SpanEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = ev;
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+void TraceBuffer::instant(std::string name) {
+  InstantEvent ev;
+  ev.ts_ns = monotonic_ns();
+  ev.tid = thread_ordinal();
+  ev.name = std::move(name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Instants are rare (log mirror); cap generously to stay bounded.
+  if (instants_.size() < 65536) instants_.push_back(std::move(ev));
+}
+
+std::vector<SpanEvent> TraceBuffer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<InstantEvent> TraceBuffer::instants() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instants_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+  instants_.clear();
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceBuffer::chrome_trace_json() const {
+  const std::vector<SpanEvent> evs = spans();
+  const std::vector<InstantEvent> ins = instants();
+  std::string out;
+  out.reserve(evs.size() * 96 + ins.size() * 96 + 128);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanEvent& ev : evs) {
+    // Complete ("X") events; ts/dur in microseconds (fractional allowed).
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"%s\",\"cat\":\"kdd\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"request\":%llu}}",
+                  first ? "" : ",", stage_name(ev.stage), ev.tid,
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0,
+                  static_cast<unsigned long long>(ev.request));
+    out += buf;
+    first = false;
+  }
+  for (const InstantEvent& ev : ins) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"", first ? "" : ",");
+    out += buf;
+    append_json_escaped(out, ev.name);
+    std::snprintf(buf, sizeof buf,
+                  "\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+                  ev.tid, static_cast<double>(ev.ts_ns) / 1000.0);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceBuffer::write_chrome_trace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext / scopes
+// ---------------------------------------------------------------------------
+
+TraceContextScope::TraceContextScope(Stage root_stage, bool always_sample)
+    : root_stage_(root_stage) {
+  if (!TraceBuffer::enabled()) return;
+  detail::TraceTlsState& tls = detail::g_trace_tls;
+  if (!always_sample) {
+    const std::uint32_t period = TraceBuffer::sample_period();
+    if (period > 1) {
+      // Wrap-around compare instead of `tick % period`: integer division by
+      // a runtime divisor costs tens of cycles and this runs once per
+      // request. Losing the draw skips the context install entirely — the
+      // root and its nested spans (which see no ambient context) skip
+      // together, so the unsampled fast path is three loads and a branch.
+      if (++tls.tick >= period) tls.tick = 0;
+      if (tls.tick != 0) return;
+    }
+  }
+  prev_ = tls.ctx;
+  tls.ctx = &ctx_;
+  installed_ = true;
+  active_ = true;
+  ctx_.request_id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  start_ns_ = monotonic_ns();
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (installed_) detail::g_trace_tls.ctx = prev_;
+  if (!active_) return;
+  const std::uint64_t end_ns = monotonic_ns();
+  SpanEvent ev;
+  ev.stage = root_stage_;
+  ev.tid = thread_ordinal();
+  ev.request = ctx_.request_id;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = end_ns - start_ns_;
+  TraceBuffer::global().record(ev);
+  StageMetrics& sm = stage_metrics();
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const int s = static_cast<int>(root_stage_);
+  reg.add(sm.ns_total[s], ev.dur_ns);
+  reg.add(sm.count[s], 1);
+  if (root_stage_ == Stage::kRequest) {
+    reg.observe(sm.request_ns_hist, ev.dur_ns);
+  }
+}
+
+void SpanScope::begin(Stage stage) {
+  active_ = true;
+  stage_ = stage;
+  start_ns_ = monotonic_ns();
+}
+
+void SpanScope::end() {
+  const std::uint64_t end_ns = monotonic_ns();
+  SpanEvent ev;
+  ev.stage = stage_;
+  ev.tid = thread_ordinal();
+  ev.request = detail::g_trace_tls.ctx ? detail::g_trace_tls.ctx->request_id : 0;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = end_ns - start_ns_;
+  TraceBuffer::global().record(ev);
+  StageMetrics& sm = stage_metrics();
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const int s = static_cast<int>(stage_);
+  reg.add(sm.ns_total[s], ev.dur_ns);
+  reg.add(sm.count[s], 1);
+}
+
+void register_span_metrics() { stage_metrics(); }
+
+}  // namespace kdd::obs

@@ -1,0 +1,231 @@
+// Per-I/O spans: stage-attributed timing of each request, with an ambient
+// (thread-local) TraceContext threaded through KddCache -> RaidArray /
+// ParityLogRaid -> BlockDevice/SsdModel so every layer can open a span
+// without plumbing an argument through each call.
+//
+// Two sinks, both optional and both cheap when off:
+//  * The global MetricsRegistry: every closed span adds its duration to
+//    kdd_span_stage_ns_total{stage} and kdd_span_stage_count{stage}, and the
+//    request root additionally feeds the kdd_request_ns histogram. These
+//    aggregates are what the exporter snapshot reports and what the
+//    reconciliation check in tools/CI validates: the per-stage sums are
+//    bounded by (and in aggregate explain) the end-to-end request time.
+//  * The TraceBuffer ring: bounded in memory, drained into Chrome
+//    `trace_event` JSON (chrome://tracing / Perfetto "Open trace file") for
+//    flamegraph inspection of individual requests.
+//
+// Gating: tracing_enabled() is one relaxed atomic load. When false,
+// SpanScope's constructor does a single load and nothing else — measured at
+// ~1 ns by bench/perf_gate (span_disabled case) — so the instrumentation can
+// stay compiled into the hot paths unconditionally.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kdd::obs {
+
+struct TraceContext;
+namespace detail {
+/// Ambient per-thread trace state. One inline thread_local struct (instead
+/// of scattered thread_local variables) so the hot paths touch a single TLS
+/// slot; the initial-exec TLS model makes each access one fs-relative load
+/// instead of a __tls_get_addr call — this matters because TraceContextScope
+/// and every SpanScope site consult it once tracing is on.
+struct TraceTlsState {
+  TraceContext* ctx = nullptr;  ///< innermost ambient context
+  std::uint32_t tick = 0;       ///< per-thread sampling wheel
+};
+#if defined(__GNUC__) && !defined(__APPLE__)
+inline thread_local TraceTlsState g_trace_tls __attribute__((tls_model("initial-exec")));
+#else
+inline thread_local TraceTlsState g_trace_tls;
+#endif
+}  // namespace detail
+
+/// Request-processing stages the spans attribute time to. Keep
+/// stage_name() and docs/observability.md in sync when extending.
+enum class Stage : std::uint8_t {
+  kRequest,      ///< root: one whole read/write through the cache
+  kCacheLookup,  ///< set-associative lookup + LRU bookkeeping
+  kDeltaEncode,  ///< old-version read + XOR + compression (KDD write hit)
+  kDezCommit,    ///< staged deltas packed + written to a DEZ page
+  kRmw,          ///< conventional read-modify-write parity update
+  kParity,       ///< deferred parity update (RMW fold or reconstruct)
+  kDevice,       ///< raw SSD/HDD page I/O (leaf)
+  kRetry,        ///< transient-error retry backoff absorption
+  kMetadataLog,  ///< metadata-log append / GC
+  kClean,        ///< background cleaning pass
+  kHeal,         ///< group heal after a cache-media fault
+  kRecovery,     ///< power-failure recovery
+  kNumStages
+};
+inline constexpr int kNumSpanStages = static_cast<int>(Stage::kNumStages);
+
+const char* stage_name(Stage s);
+
+/// One closed span (or instant event when dur_ns == 0 and instant == true).
+struct SpanEvent {
+  Stage stage = Stage::kRequest;
+  std::uint32_t tid = 0;       ///< small per-thread ordinal, not the OS tid
+  std::uint64_t request = 0;   ///< TraceContext request id (0 = no context)
+  std::uint64_t start_ns = 0;  ///< steady-clock, process-relative
+  std::uint64_t dur_ns = 0;
+};
+
+/// Instant (log-mirror) event for the Chrome trace.
+struct InstantEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+/// Global bounded ring of closed spans. Appends take a mutex — span
+/// *closing* is not the per-ns hot path (opening is) and the buffer is only
+/// written when tracing is enabled.
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  /// Enables/disables span recording process-wide. Also consulted by
+  /// SpanScope before reading the clock.
+  static void set_enabled(bool on);
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Per-request sampling: with period N only every Nth root (per submitter
+  /// thread) is traced — its root span and all nested stage spans record;
+  /// the other N-1 roots skip the context install, so their nested spans
+  /// (seeing no ambient context) skip too, and the whole unsampled request
+  /// costs a few loads. Background passes (cleaner, flush) open sampled
+  /// roots of their own; rare high-value passes (recovery, failure
+  /// handling) force-sample theirs. 1 = trace everything. Sampling keeps
+  /// the fig9-replay telemetry overhead inside the perf gate's 5% budget
+  /// while the per-request reconciliation property still holds: a sampled
+  /// root's child spans and the root are recorded or skipped together.
+  static void set_sample_period(std::uint32_t period);
+  static std::uint32_t sample_period() {
+    return sample_period_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in spans (oldest dropped first). Default 1 Mi spans.
+  void set_capacity(std::size_t spans);
+
+  void record(const SpanEvent& ev);
+  void instant(std::string name);
+
+  /// Copies out the buffered spans in chronological (ring) order.
+  std::vector<SpanEvent> spans() const;
+  std::vector<InstantEvent> instants() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Serialises the buffer as Chrome trace_event JSON (the
+  /// {"traceEvents": [...]} object form; "X" complete events in
+  /// microseconds, plus "i" instant events for the log mirror).
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+  static std::atomic<std::uint32_t>& sample_period_flag();
+
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::vector<InstantEvent> instants_;
+};
+
+/// Monotonic process-relative nanoseconds (steady clock).
+std::uint64_t monotonic_ns();
+
+/// Small stable ordinal for the calling thread (0, 1, 2, ... in first-use
+/// order) — keeps Chrome trace rows compact and deterministic-ish.
+std::uint32_t thread_ordinal();
+
+/// Ambient per-request context. Installed by TraceContextScope at the top of
+/// a cache read/write or a background pass (cleaner, flush); inner layers
+/// read it via current() to tag their spans with the request id.
+struct TraceContext {
+  std::uint64_t request_id = 0;
+  /// An installed context is by definition sampled: roots that lose the
+  /// sampling draw never install one (see TraceContextScope).
+  bool sampled = true;
+  static TraceContext* current() { return detail::g_trace_tls.ctx; }
+};
+
+/// True when a stage span opened *now* should record: an ambient root that
+/// won the sampling draw is installed. Stage spans only ever record under a
+/// root (request, background pass, or recovery) — a root that lost the draw
+/// skips the context install entirely, so its nested spans see no context
+/// and skip too, keeping the unsampled path to a couple of loads. Inline
+/// (one thread-local load) because it sits on the request hot path for
+/// *every* span site once tracing is on.
+inline bool span_sampled() {
+  return detail::g_trace_tls.ctx != nullptr;
+}
+
+/// RAII root: allocates a request id, installs the ambient context and opens
+/// a Stage::kRequest span. No-op (two relaxed loads) when tracing is off and
+/// metrics aggregation for spans is off.
+class TraceContextScope {
+ public:
+  /// Foreground request root: records a Stage::kRequest span and feeds the
+  /// kdd_request_ns latency histogram.
+  TraceContextScope() : TraceContextScope(Stage::kRequest) {}
+  /// Root for a *background* pass (cleaner, flush): installs the ambient
+  /// sampling context exactly like a request root — so the pass's nested
+  /// stage spans are sampled at the same 1-in-N period instead of always
+  /// recording — but attributes the root span to `root_stage` and stays out
+  /// of the request latency histogram. `always_sample` skips the sampling
+  /// draw: rare high-value passes (recovery, failure handling) record even
+  /// under aggressive request sampling.
+  explicit TraceContextScope(Stage root_stage, bool always_sample = false);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext ctx_;
+  TraceContext* prev_ = nullptr;
+  Stage root_stage_ = Stage::kRequest;
+  std::uint64_t start_ns_ = 0;
+  bool installed_ = false;  ///< context published (even when not sampled)
+  bool active_ = false;     ///< sampled: root span is being timed
+};
+
+/// RAII stage span. Cheap when tracing is disabled (single relaxed load).
+class SpanScope {
+ public:
+  explicit SpanScope(Stage stage) {
+    if (TraceBuffer::enabled() && span_sampled()) begin(stage);
+  }
+  ~SpanScope() {
+    if (active_) end();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  void begin(Stage stage);
+  void end();
+
+  Stage stage_ = Stage::kRequest;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Aggregate per-stage counters (ns totals and span counts) accumulated in
+/// the global MetricsRegistry since process start / last reset:
+/// kdd_span_stage_ns_total / kdd_span_stage_count, labelled by stage name.
+void register_span_metrics();
+
+}  // namespace kdd::obs

@@ -130,6 +130,7 @@ SimResult EventSimulator::run_open_loop(const Trace& trace) {
     if (f.record) {
       result_.latency.record(end - f.arrival);
       ++result_.requests;
+      if (observer_) observer_(end, end - f.arrival);
     }
     result_.makespan_us = std::max(result_.makespan_us, end);
     f.live = false;
@@ -201,6 +202,7 @@ SimResult EventSimulator::run_closed_loop(ZipfWorkload& workload,
     if (record) {
       result_.latency.record(end - f.arrival);
       ++result_.requests;
+      if (observer_) observer_(end, end - f.arrival);
     }
     result_.makespan_us = std::max(result_.makespan_us, end);
     f.live = false;

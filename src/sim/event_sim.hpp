@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -70,6 +71,13 @@ class EventSimulator {
   /// exhausted.
   SimResult run_closed_loop(ZipfWorkload& workload, std::uint32_t threads);
 
+  /// Called once per recorded (foreground) request completion with the
+  /// simulated completion time and the request's latency, both in µs. The
+  /// telemetry harness uses this to bucket wear/latency samples by sim time
+  /// without re-running the policy. Background work never fires it.
+  using RequestObserver = std::function<void(SimTime now, SimTime latency_us)>;
+  void set_request_observer(RequestObserver fn) { observer_ = std::move(fn); }
+
  private:
   struct InFlight {
     IoPlan plan;
@@ -108,6 +116,7 @@ class EventSimulator {
   std::vector<std::uint64_t> free_ids_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   SimResult result_;
+  RequestObserver observer_;
 };
 
 }  // namespace kdd

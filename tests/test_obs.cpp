@@ -1,0 +1,568 @@
+// Tests for the observability layer (src/obs/): latency-histogram error
+// bounds, metrics-registry merge determinism under multi-threaded recording,
+// exporter formats, span recording/sampling/reconciliation, the leveled
+// logger, and CacheStats::merge.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache_stats.hpp"
+#include "common/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/wear.hpp"
+
+namespace kdd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: bounded relative error
+// ---------------------------------------------------------------------------
+
+// The histogram's documented contract (common/stats.hpp): values below
+// kSubBuckets are exact; larger values land in a sub-bucket spanning
+// 1/(kSubBuckets/2) of their octave, so percentile_us() — which reports the
+// bucket's upper bound — overstates the true value by at most
+// 2/kSubBuckets = 1/64 ~= 1.6 %.
+constexpr double kHistMaxRelError = 1.0 / 64.0;
+
+TEST(LatencyHistogram, SmallValuesExact) {
+  for (SimTime v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{17},
+                    std::uint64_t{127}}) {
+    LatencyHistogram h;
+    h.record(v);
+    EXPECT_EQ(h.percentile_us(0.5), v) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundAcrossOctaves) {
+  // Sweep values across many octaves, deliberately including the boundaries
+  // (2^k - 1, 2^k, 2^k + 1) where bucket-indexing bugs live.
+  std::vector<SimTime> values;
+  for (int oct = 7; oct <= 30; ++oct) {
+    const SimTime base = SimTime{1} << oct;
+    values.push_back(base - 1);
+    values.push_back(base);
+    values.push_back(base + 1);
+    values.push_back(base + base / 3);
+    values.push_back(base + base / 2);
+    values.push_back(2 * base - 1);
+  }
+  for (const SimTime v : values) {
+    LatencyHistogram h;
+    h.record(v);
+    const SimTime q = h.percentile_us(0.5);
+    EXPECT_GE(q, v) << "v=" << v;  // upper bound never understates
+    const double rel =
+        (static_cast<double>(q) - static_cast<double>(v)) / static_cast<double>(v);
+    EXPECT_LE(rel, kHistMaxRelError) << "v=" << v << " q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOnUniformRamp) {
+  LatencyHistogram h;
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t i = 1; i <= kN; ++i) h.record(i);
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_NEAR(h.mean_us(), (kN + 1) / 2.0, 1.0);
+  EXPECT_EQ(h.max_us(), kN);
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double exact = q * static_cast<double>(kN);
+    const double got = static_cast<double>(h.percentile_us(q));
+    EXPECT_GE(got, exact * (1.0 - 1e-9)) << "q=" << q;
+    // Upper bound of the containing bucket: within the 1/64 contract plus
+    // one count of quantile rounding.
+    EXPECT_LE(got, exact * (1.0 + kHistMaxRelError) + 1.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const SimTime va = (i * 2654435761u) % 1000000;
+    const SimTime vb = (i * 40503u) % 3000;
+    a.record(va);
+    b.record(vb);
+    combined.record(va);
+    combined.record(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean_us(), combined.mean_us());
+  EXPECT_EQ(a.max_us(), combined.max_us());
+  for (const double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_EQ(a.percentile_us(q), combined.percentile_us(q)) << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId a = reg.counter("kdd_test_total");
+  const obs::MetricId b = reg.counter("kdd_test_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.counter("kdd_other_total"), a);
+  EXPECT_EQ(reg.num_counters(), 2u);
+  // The three kinds have independent namespaces.
+  const obs::MetricId g = reg.gauge("kdd_test_total");
+  const obs::MetricId h = reg.histogram("kdd_test_total");
+  EXPECT_EQ(reg.num_gauges(), 1u);
+  EXPECT_EQ(reg.num_histograms(), 1u);
+  (void)g;
+  (void)h;
+}
+
+TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId c = reg.counter("c_total");
+  const obs::MetricId g = reg.gauge("g");
+  const obs::MetricId h = reg.histogram("h_ns");
+  reg.add(c, 3);
+  reg.add(c);
+  reg.gauge_set(g, -7);
+  reg.gauge_add(g, 10);
+  reg.observe(h, 100);
+  reg.observe(h, 300);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c_total"), 4u);
+  EXPECT_EQ(snap.gauge("g"), 3);
+  ASSERT_NE(snap.histogram("h_ns"), nullptr);
+  EXPECT_EQ(snap.histogram("h_ns")->count(), 2u);
+  EXPECT_EQ(snap.counter("absent_total"), 0u);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+
+  reg.reset();
+  const obs::MetricsSnapshot zero = reg.snapshot();
+  EXPECT_EQ(zero.counter("c_total"), 0u);
+  EXPECT_EQ(zero.gauge("g"), 0);
+  ASSERT_NE(zero.histogram("h_ns"), nullptr);
+  EXPECT_EQ(zero.histogram("h_ns")->count(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName) {
+  obs::MetricsRegistry reg;
+  reg.counter("zeta_total");
+  reg.counter("alpha_total");
+  reg.counter("mid_total");
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha_total");
+  EXPECT_EQ(snap.counters[1].name, "mid_total");
+  EXPECT_EQ(snap.counters[2].name, "zeta_total");
+}
+
+// After recorders quiesce, the shard merge must be exact and deterministic:
+// two consecutive snapshots agree with each other and with arithmetic.
+TEST(MetricsRegistry, MergeDeterministicUnderThreadedRecording) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncsPerThread = 20000;
+  const obs::MetricId shared = reg.counter("shared_total");
+  const obs::MetricId hist = reg.histogram("lat_us");
+  std::vector<obs::MetricId> per_thread;
+  per_thread.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread.push_back(reg.counter("thread_" + std::to_string(t) + "_total"));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kIncsPerThread; ++i) {
+        reg.add(shared);
+        reg.add(per_thread[static_cast<std::size_t>(t)], 2);
+        if (i % 16 == 0) reg.observe(hist, i % 4096);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const obs::MetricsSnapshot s1 = reg.snapshot();
+  const obs::MetricsSnapshot s2 = reg.snapshot();
+  EXPECT_EQ(s1.counter("shared_total"), kThreads * kIncsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(s1.counter("thread_" + std::to_string(t) + "_total"),
+              2 * kIncsPerThread);
+  }
+  ASSERT_NE(s1.histogram("lat_us"), nullptr);
+  EXPECT_EQ(s1.histogram("lat_us")->count(),
+            kThreads * (kIncsPerThread / 16 + (kIncsPerThread % 16 ? 1 : 0)));
+  // Deterministic: the second snapshot is byte-identical in content.
+  EXPECT_EQ(obs::snapshot_json(s1), obs::snapshot_json(s2));
+  EXPECT_EQ(obs::prometheus_text(s1), obs::prometheus_text(s2));
+}
+
+TEST(MetricsRegistry, HandlesAreUsableAndNullSafe) {
+  obs::MetricsRegistry reg;
+  obs::Counter c(&reg, "h_total");
+  obs::Gauge g(&reg, "h_gauge");
+  obs::Histogram h(&reg, "h_hist");
+  c.inc();
+  c.inc(4);
+  g.set(5);
+  g.add(-2);
+  h.observe(9);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("h_total"), 5u);
+  EXPECT_EQ(snap.gauge("h_gauge"), 3);
+  // Default-constructed handles are inert, not crashing.
+  obs::Counter c0;
+  obs::Gauge g0;
+  obs::Histogram h0;
+  c0.inc();
+  g0.set(1);
+  h0.observe(1);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextFormat) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("kdd_reads_total"), 12);
+  reg.gauge_set(reg.gauge("kdd_dez_pages"), 34);
+  reg.observe(reg.histogram("kdd_request_ns"), 1000);
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE kdd_reads_total counter"), std::string::npos);
+  EXPECT_NE(text.find("kdd_reads_total 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kdd_dez_pages gauge"), std::string::npos);
+  EXPECT_NE(text.find("kdd_dez_pages 34"), std::string::npos);
+  EXPECT_NE(text.find("kdd_request_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Exporters, PrometheusLabelledFamiliesEmitOneTypeLine) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("kdd_span_stage_count{stage=\"rmw\"}"), 1);
+  reg.add(reg.counter("kdd_span_stage_count{stage=\"parity\"}"), 2);
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  // One TYPE comment for the family, two labelled series.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE kdd_span_stage_count", pos)) != std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("kdd_span_stage_count{stage=\"rmw\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("kdd_span_stage_count{stage=\"parity\"} 2"),
+            std::string::npos);
+}
+
+TEST(Exporters, SnapshotJsonCarriesSchemaAndValues) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("a_total"), 7);
+  reg.gauge_set(reg.gauge("b"), -2);
+  reg.observe(reg.histogram("c_ns"), 500);
+  const std::string json = obs::snapshot_json(reg.snapshot());
+  EXPECT_NE(json.find(obs::kSnapshotSchema), std::string::npos);
+  EXPECT_NE(json.find("\"a_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"c_ns\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+TEST(Exporters, WearSeriesJsonl) {
+  obs::WearSeries series("sim_us");
+  series.set_kind_names({"read_fill", "write_alloc"});
+  obs::WearSample s;
+  s.t = 123.0;
+  s.ops = 10;
+  s.ssd_writes_by_kind[0] = 4;
+  s.ssd_writes_by_kind[1] = 6;
+  s.dez_pages = 99;
+  s.stale_groups = 3;
+  series.add(s);
+  const std::string jsonl = series.to_jsonl();
+  // Header line carries the schema + units; bucket line expands kinds.
+  EXPECT_NE(jsonl.find(obs::WearSeries::kSchema), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t_unit\":\"sim_us\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ssd_writes_read_fill\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ssd_writes_write_alloc\":6"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dez_pages\":99"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"stale_groups\":3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceBuffer::global().set_capacity(1u << 14);
+    obs::TraceBuffer::global().clear();
+    obs::TraceBuffer::set_sample_period(1);
+    obs::TraceBuffer::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::TraceBuffer::set_enabled(false);
+    obs::TraceBuffer::set_sample_period(1);
+    obs::TraceBuffer::global().clear();
+  }
+
+  static std::size_t count_stage(const std::vector<obs::SpanEvent>& spans,
+                                 obs::Stage stage) {
+    std::size_t n = 0;
+    for (const obs::SpanEvent& ev : spans) n += ev.stage == stage ? 1 : 0;
+    return n;
+  }
+};
+
+TEST_F(SpanTest, DisabledRecordsNothing) {
+  obs::TraceBuffer::set_enabled(false);
+  {
+    const obs::TraceContextScope root;
+    const obs::SpanScope span(obs::Stage::kCacheLookup);
+  }
+  EXPECT_TRUE(obs::TraceBuffer::global().spans().empty());
+}
+
+TEST_F(SpanTest, RootAndChildrenShareRequestId) {
+  {
+    const obs::TraceContextScope root;
+    const obs::SpanScope a(obs::Stage::kCacheLookup);
+    const obs::SpanScope b(obs::Stage::kRmw);
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const std::uint64_t id = spans[0].request;
+  EXPECT_NE(id, 0u);
+  for (const obs::SpanEvent& ev : spans) EXPECT_EQ(ev.request, id);
+  EXPECT_EQ(count_stage(spans, obs::Stage::kRequest), 1u);
+}
+
+TEST_F(SpanTest, ChildDurationsReconcileWithRoot) {
+  {
+    const obs::TraceContextScope root;
+    for (int i = 0; i < 4; ++i) {
+      const obs::SpanScope child(obs::Stage::kDevice);
+      // A little real work so durations are non-trivial.
+      volatile std::uint64_t sink = 0;
+      for (int j = 0; j < 2000; ++j) sink = sink + static_cast<std::uint64_t>(j);
+    }
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  ASSERT_EQ(spans.size(), 5u);
+  std::uint64_t child_sum = 0;
+  std::uint64_t root_dur = 0;
+  std::uint64_t root_start = 0, root_end = 0;
+  for (const obs::SpanEvent& ev : spans) {
+    if (ev.stage == obs::Stage::kRequest) {
+      root_dur = ev.dur_ns;
+      root_start = ev.start_ns;
+      root_end = ev.start_ns + ev.dur_ns;
+    } else {
+      child_sum += ev.dur_ns;
+    }
+  }
+  // Children (sequential, non-overlapping) must fit inside the root.
+  EXPECT_LE(child_sum, root_dur);
+  for (const obs::SpanEvent& ev : spans) {
+    EXPECT_GE(ev.start_ns, root_start);
+    EXPECT_LE(ev.start_ns + ev.dur_ns, root_end);
+  }
+}
+
+TEST_F(SpanTest, SamplingRecordsRootAndChildrenTogether) {
+  obs::TraceBuffer::set_sample_period(4);
+  for (int i = 0; i < 32; ++i) {
+    const obs::TraceContextScope root;
+    const obs::SpanScope child(obs::Stage::kCacheLookup);
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  const std::size_t roots = count_stage(spans, obs::Stage::kRequest);
+  const std::size_t children = count_stage(spans, obs::Stage::kCacheLookup);
+  EXPECT_EQ(roots, 8u);  // 32 roots at period 4 (per-thread wheel)
+  EXPECT_EQ(children, roots);  // recorded or skipped together
+}
+
+TEST_F(SpanTest, UnsampledRootInstallsNoContext) {
+  obs::TraceBuffer::set_sample_period(1u << 30);  // effectively never
+  for (int i = 0; i < 8; ++i) {
+    const obs::TraceContextScope root;
+    EXPECT_EQ(obs::TraceContext::current(), nullptr);
+    EXPECT_FALSE(obs::span_sampled());
+  }
+  EXPECT_TRUE(obs::TraceBuffer::global().spans().empty());
+}
+
+TEST_F(SpanTest, ForcedRootRecordsDespiteSampling) {
+  obs::TraceBuffer::set_sample_period(1u << 30);
+  {
+    const obs::TraceContextScope root(obs::Stage::kRecovery,
+                                      /*always_sample=*/true);
+    const obs::SpanScope child(obs::Stage::kMetadataLog);
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  EXPECT_EQ(count_stage(spans, obs::Stage::kRecovery), 1u);
+  EXPECT_EQ(count_stage(spans, obs::Stage::kMetadataLog), 1u);
+}
+
+TEST_F(SpanTest, BackgroundRootAttributesToItsStage) {
+  {
+    const obs::TraceContextScope root(obs::Stage::kClean);
+    const obs::SpanScope child(obs::Stage::kParity);
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  EXPECT_EQ(count_stage(spans, obs::Stage::kClean), 1u);
+  EXPECT_EQ(count_stage(spans, obs::Stage::kParity), 1u);
+  EXPECT_EQ(count_stage(spans, obs::Stage::kRequest), 0u);
+}
+
+TEST_F(SpanTest, RingBoundsMemoryAndCountsDrops) {
+  obs::TraceBuffer::global().set_capacity(8);
+  obs::TraceBuffer::global().clear();
+  for (int i = 0; i < 20; ++i) {
+    const obs::TraceContextScope root;
+  }
+  const std::vector<obs::SpanEvent> spans = obs::TraceBuffer::global().spans();
+  EXPECT_EQ(spans.size(), 8u);
+  EXPECT_EQ(obs::TraceBuffer::global().dropped(), 12u);
+  // Ring returns chronological order.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  }
+}
+
+TEST_F(SpanTest, ChromeTraceJsonShape) {
+  {
+    const obs::TraceContextScope root;
+    const obs::SpanScope child(obs::Stage::kDeltaEncode);
+  }
+  obs::TraceBuffer::global().instant("test \"quoted\" instant");
+  const std::string json = obs::TraceBuffer::global().chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"delta_encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("test \\\"quoted\\\" instant"), std::string::npos);
+}
+
+TEST_F(SpanTest, StageAggregatesFeedGlobalRegistry) {
+  // Span aggregates land in the *global* registry; take before/after deltas
+  // so this test is robust to other activity in the process.
+  obs::register_span_metrics();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+  {
+    const obs::TraceContextScope root;
+    const obs::SpanScope child(obs::Stage::kRmw);
+  }
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(after.counter("kdd_span_stage_count{stage=\"rmw\"}") -
+                before.counter("kdd_span_stage_count{stage=\"rmw\"}"),
+            1u);
+  EXPECT_EQ(after.counter("kdd_span_stage_count{stage=\"request\"}") -
+                before.counter("kdd_span_stage_count{stage=\"request\"}"),
+            1u);
+  EXPECT_GE(after.counter("kdd_span_stage_ns_total{stage=\"request\"}"),
+            before.counter("kdd_span_stage_ns_total{stage=\"request\"}"));
+  // The request root also feeds the latency histogram.
+  ASSERT_NE(after.histogram("kdd_request_ns"), nullptr);
+  ASSERT_NE(before.histogram("kdd_request_ns"), nullptr);
+  EXPECT_EQ(after.histogram("kdd_request_ns")->count() -
+                before.histogram("kdd_request_ns")->count(),
+            1u);
+}
+
+TEST(SpanNames, AllStagesNamed) {
+  for (int s = 0; s < obs::kNumSpanStages; ++s) {
+    const std::string name = obs::stage_name(static_cast<obs::Stage>(s));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "stage " << s << " is missing a name";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+TEST(Log, LevelFilteringAndCounting) {
+  const obs::LogLevel prev = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kTrace));
+
+  const std::uint64_t before = obs::log_messages_emitted();
+  KDD_LOG(Warn, "test warn %d", 1);
+  KDD_LOG(Info, "filtered info %d", 2);  // below threshold: not emitted
+  EXPECT_EQ(obs::log_messages_emitted() - before, 1u);
+  obs::set_log_level(prev);
+}
+
+TEST(Log, EmittedMessagesMirrorIntoTraceBuffer) {
+  const obs::LogLevel prev = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kWarn);
+  obs::TraceBuffer::global().clear();
+  obs::TraceBuffer::set_enabled(true);
+  KDD_LOG(Warn, "mirrored-%d", 42);
+  obs::TraceBuffer::set_enabled(false);
+  obs::set_log_level(prev);
+
+  bool found = false;
+  for (const obs::InstantEvent& ev : obs::TraceBuffer::global().instants()) {
+    if (ev.name.find("mirrored-42") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  obs::TraceBuffer::global().clear();
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kError), "error");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kWarn), "warn");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kInfo), "info");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kTrace), "trace");
+}
+
+// ---------------------------------------------------------------------------
+// CacheStats::merge
+// ---------------------------------------------------------------------------
+
+TEST(CacheStats, MergeIsElementwiseSum) {
+  CacheStats a, b;
+  a.read_hits = 1;
+  a.write_misses = 2;
+  a.ssd_reads = 3;
+  a.ssd_writes[static_cast<int>(SsdWriteKind::kDeltaCommit)] = 4;
+  a.disk_writes = 5;
+  a.cleanings = 6;
+  b.read_hits = 10;
+  b.write_misses = 20;
+  b.ssd_reads = 30;
+  b.ssd_writes[static_cast<int>(SsdWriteKind::kDeltaCommit)] = 40;
+  b.ssd_writes[static_cast<int>(SsdWriteKind::kMetadata)] = 7;
+  b.disk_writes = 50;
+  b.cleanings = 60;
+  b.log_gc_passes = 2;
+  a.merge(b);
+  EXPECT_EQ(a.read_hits, 11u);
+  EXPECT_EQ(a.write_misses, 22u);
+  EXPECT_EQ(a.ssd_reads, 33u);
+  EXPECT_EQ(a.ssd_writes[static_cast<int>(SsdWriteKind::kDeltaCommit)], 44u);
+  EXPECT_EQ(a.ssd_writes[static_cast<int>(SsdWriteKind::kMetadata)], 7u);
+  EXPECT_EQ(a.disk_writes, 55u);
+  EXPECT_EQ(a.cleanings, 66u);
+  EXPECT_EQ(a.log_gc_passes, 2u);
+  EXPECT_EQ(a.total_ssd_writes(), 51u);
+}
+
+}  // namespace
+}  // namespace kdd
