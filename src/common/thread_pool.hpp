@@ -1,0 +1,112 @@
+// Minimal fixed-size thread pool for embarrassingly parallel batch work
+// (figure-sweep grid points, bench fan-out). Header-only, no dependencies
+// beyond the standard library.
+//
+// Design notes:
+//  * submit() enqueues a task; wait_idle() blocks until every submitted task
+//    has finished (queue empty AND no task running) — a deterministic join
+//    barrier, not a quiescence heuristic.
+//  * parallel_for_indexed(n, fn) runs fn(0..n-1) across the pool and blocks
+//    until all are done. Callers get deterministic *result* ordering by
+//    writing into index-addressed slots of a pre-sized vector; only the
+//    execution order is nondeterministic.
+//  * A pool of size <= 1 degrades to inline execution on the calling thread
+//    (no worker threads at all), so single-threaded runs stay byte-for-byte
+//    reproducible and debuggable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kdd {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 or 1 creates no workers; tasks run inline in submit().
+  explicit ThreadPool(std::size_t threads) {
+    if (threads <= 1) return;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 = inline mode).
+  std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> fn) {
+    if (workers_.empty()) {
+      fn();  // inline mode
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void wait_idle() {
+    if (workers_.empty()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool; returns when all are done.
+  /// fn must be safe to call concurrently for distinct indices.
+  template <typename Fn>
+  void parallel_for_indexed(std::size_t n, Fn&& fn) {
+    if (workers_.empty() || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      submit([&fn, i] { fn(i); });
+    }
+    wait_idle();
+  }
+
+ private:
+  void worker_main() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      std::function<void()> fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< workers: task available / stop
+  std::condition_variable idle_cv_;  ///< wait_idle: outstanding hit zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t outstanding_ = 0;  ///< queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kdd

@@ -1,6 +1,10 @@
 #include "kdd/concurrent.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/check.hpp"
+#include "obs/span.hpp"
 
 namespace kdd {
 
@@ -14,25 +18,59 @@ std::chrono::steady_clock::rep now_ticks() {
 
 ConcurrentCache::ConcurrentCache(CachePolicy* policy,
                                  std::chrono::milliseconds idle_wakeup)
-    : ConcurrentCache(policy, nullptr, idle_wakeup) {}
+    : ConcurrentCache(policy, nullptr, idle_wakeup, 0) {}
 
 ConcurrentCache::ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
-                                 std::chrono::milliseconds idle_wakeup)
+                                 std::chrono::milliseconds idle_wakeup,
+                                 std::uint32_t cleaner_threads)
     : policy_(policy),
       layout_(layout),
       idle_wakeup_(idle_wakeup),
-      last_request_ns_(now_ticks()),
-      cleaner_([this] { cleaner_main(); }) {
+      last_request_ns_(now_ticks()) {
   KDD_CHECK(policy_ != nullptr);
+  if (cleaner_threads > 0) {
+    destage_ = dynamic_cast<DestageSource*>(policy_);
+    if (destage_ != nullptr) {
+      // The pool owns destage from here on: the policy's inline watermark
+      // passes become no-ops so foreground requests never serialise behind
+      // a whole cleaning pass again.
+      destage_->set_external_cleaner(true);
+      pool_size_ = cleaner_threads;
+      pool_.reserve(cleaner_threads);
+      for (std::uint32_t w = 0; w < cleaner_threads; ++w) {
+        pool_.emplace_back([this, w] { pool_main(w); });
+      }
+    }
+  }
+  // Started last: the cleaner doubles as the pool feeder and reads the pool
+  // state set up above.
+  cleaner_ = std::thread([this] { cleaner_main(); });
 }
 
 ConcurrentCache::~ConcurrentCache() {
+  // Stop the feeder first so no new jobs are queued, then the workers.
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
   cleaner_.join();
+  if (!pool_.empty()) {
+    {
+      const std::lock_guard<std::mutex> qlock(queue_mu_);
+      pool_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+    // Workers exit immediately on stop; release the claims of any jobs they
+    // left behind so a later flush of the policy sees no phantom claims.
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& q : queues_) {
+      for (const DestageJob& job : q) destage_->destage_abandon(job.groups);
+      q.clear();
+    }
+    queued_jobs_ = 0;
+  }
 }
 
 std::size_t ConcurrentCache::stripe_of(Lba lba) const {
@@ -40,6 +78,12 @@ std::size_t ConcurrentCache::stripe_of(Lba lba) const {
   // kStripes is a power of two; mix the key a little so striped workloads
   // whose groups advance in lockstep still spread across stripes.
   return static_cast<std::size_t>((key ^ (key >> 7)) & (kStripes - 1));
+}
+
+std::size_t ConcurrentCache::stripe_of_group(GroupId g) const {
+  // Must agree with stripe_of() for LBAs of the same group (the front door
+  // keys stripes by group when a layout is installed).
+  return static_cast<std::size_t>((g ^ (g >> 7)) & (kStripes - 1));
 }
 
 void ConcurrentCache::touch_idle_clock() {
@@ -64,17 +108,60 @@ IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
   const std::lock_guard<std::mutex> stripe(stripe_mu_[s]);
   shards_[s].writes.fetch_add(1, std::memory_order_relaxed);
   touch_idle_clock();
-  const std::lock_guard<std::mutex> lock(mu_);
-  const IoStatus st = policy_->write(lba, data, nullptr);
+  bool kick = false;
+  IoStatus st;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    st = policy_->write(lba, data, nullptr);
+    // With the pool active the policy's inline watermark pass is a no-op, so
+    // the write path itself must wake the feeder once deferred work piles up.
+    kick = destage_ != nullptr && !pool_.empty() && destage_->destage_pending();
+  }
   if (st != IoStatus::kOk) {
     shards_[s].write_errors.fetch_add(1, std::memory_order_relaxed);
   }
+  if (kick) nudge_feeder();
   return st;
 }
+
+void ConcurrentCache::nudge_feeder() { cv_.notify_one(); }
 
 void ConcurrentCache::flush() {
   touch_idle_clock();
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (!pool_.empty()) {
+    // Deterministic drain barrier: pause refills, wait until every queued
+    // and in-flight job has committed (or been abandoned), then run the
+    // policy's own flush inline while *holding* mu_ — the feeder cannot
+    // start a refill without mu_, so the re-check under mu_ closes the race
+    // where a refill that had already passed the pause check queues one
+    // last wave of jobs after our first drain wait. Claims are all released
+    // at the barrier, so the inline clean_all drains whatever the pool had
+    // not reached yet.
+    refill_pause_.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      bool drained;
+      {
+        const std::lock_guard<std::mutex> qlock(queue_mu_);
+        drained = queued_jobs_ == 0 && inflight_jobs_ == 0;
+      }
+      if (drained) break;
+      lock.unlock();
+      {
+        std::unique_lock<std::mutex> qlock(queue_mu_);
+        drain_cv_.wait(qlock, [this] {
+          return queued_jobs_ == 0 && inflight_jobs_ == 0;
+        });
+      }
+      lock.lock();  // re-check: a paused feeder can no longer refill
+    }
+    policy_->flush(nullptr);
+    publish_snapshot_locked();
+    lock.unlock();
+    refill_pause_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   policy_->flush(nullptr);
   publish_snapshot_locked();
@@ -110,6 +197,91 @@ ConcurrentCache::FrontStats ConcurrentCache::front_stats() const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Cleaner pool
+// ---------------------------------------------------------------------------
+
+void ConcurrentCache::refill_pool_locked(bool force) {
+  if (refill_pause_.load(std::memory_order_acquire) > 0) return;
+  if (!force && !destage_->destage_pending()) return;
+  {
+    // Bounded in-flight: keep roughly one job per worker outstanding. The
+    // claim below adds at most kStripes jobs, so total claims stay bounded
+    // by (hint * workers) groups per wave.
+    const std::lock_guard<std::mutex> qlock(queue_mu_);
+    if (queued_jobs_ + inflight_jobs_ >= pool_size_) return;
+  }
+  const std::size_t target = destage_->destage_batch_hint() * pool_size_;
+  const std::vector<GroupId> groups = destage_->destage_claim(target);
+  if (groups.empty()) return;
+  // Partition the disk-layout-ordered claim into per-stripe jobs; order
+  // within a job is preserved, so each worker still walks its parity pages
+  // in layout order.
+  std::array<std::vector<GroupId>, kStripes> per_stripe;
+  for (const GroupId g : groups) {
+    per_stripe[stripe_of_group(g)].push_back(g);
+  }
+  {
+    const std::lock_guard<std::mutex> qlock(queue_mu_);
+    for (std::size_t s = 0; s < kStripes; ++s) {
+      if (per_stripe[s].empty()) continue;
+      queues_[s].push_back(DestageJob{s, std::move(per_stripe[s])});
+      ++queued_jobs_;
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+void ConcurrentCache::run_destage_job(const DestageJob& job) {
+  // Background root: the pipeline's stage spans sample at the request period
+  // and attribute to a kClean root, exactly like the inline cleaner.
+  const obs::TraceContextScope trace(obs::Stage::kClean);
+  // The stripe lock freezes foreground requests to the claimed groups across
+  // all three stages (see kdd/destage.hpp).
+  const std::lock_guard<std::mutex> stripe(stripe_mu_[job.stripe]);
+  std::unique_ptr<DestageUnit> unit;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    unit = destage_->destage_prepare(job.groups, nullptr);
+  }
+  if (unit == nullptr) return;  // nothing left; claims already released
+  unit->fold();  // stage 2: no policy lock — this is the parallel section
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    destage_->destage_commit(*unit, nullptr);
+  }
+  pool_batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentCache::pool_main(std::size_t worker) {
+  // Home range: worker w prefers stripes [w*K/N, (w+1)*K/N) and steals from
+  // the rest only when its own range is empty.
+  const std::size_t home = (worker * kStripes) / pool_size_;
+  std::unique_lock<std::mutex> qlock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(qlock, [this] { return pool_stop_ || queued_jobs_ > 0; });
+    if (pool_stop_) return;  // leftover jobs are abandoned by the destructor
+    DestageJob job;
+    bool found = false;
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      const std::size_t s = (home + i) % kStripes;
+      if (queues_[s].empty()) continue;
+      job = std::move(queues_[s].front());
+      queues_[s].pop_front();
+      found = true;
+      break;
+    }
+    if (!found) continue;  // raced with another worker; wait again
+    --queued_jobs_;
+    ++inflight_jobs_;
+    qlock.unlock();
+    run_destage_job(job);
+    qlock.lock();
+    --inflight_jobs_;
+    if (queued_jobs_ == 0 && inflight_jobs_ == 0) drain_cv_.notify_all();
+  }
+}
+
 void ConcurrentCache::cleaner_main() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
@@ -121,7 +293,21 @@ void ConcurrentCache::cleaner_main() {
         std::chrono::steady_clock::duration(
             last_request_ns_.load(std::memory_order_relaxed)));
     const auto idle_for = std::chrono::steady_clock::now() - last;
-    if (idle_for >= idle_wakeup_) {
+    const bool idle = idle_for >= idle_wakeup_;
+    if (destage_ != nullptr && pool_size_ > 0) {
+      // Pool mode: this thread is the feeder. Refill on every wake-up —
+      // destage has to keep pace with the foreground load, not wait for
+      // idleness — and when the system *is* idle, force a full drain wave
+      // (the paper's idle-triggered cleaning) through the pool instead of
+      // running the policy's inline pass.
+      refill_pool_locked(/*force=*/idle);
+      if (idle) {
+        cleaner_passes_.fetch_add(1);
+        publish_snapshot_locked();
+      }
+      continue;
+    }
+    if (idle) {
       policy_->on_idle(nullptr);
       cleaner_passes_.fetch_add(1);
       publish_snapshot_locked();  // refresh the lock-free stats snapshot

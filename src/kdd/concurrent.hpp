@@ -23,6 +23,28 @@
 // Lock order is always stripe -> policy; the cleaner takes only the policy
 // mutex. The idle clock and the front-door counters are atomics so neither
 // the hot request path nor stats() takes any extra lock for them.
+//
+// Cleaner pool (optional, cleaner_threads > 0 and a DestageSource policy):
+// the idle cleaner becomes a *feeder* that claims dirty parity groups under
+// the policy lock, partitions them into per-stripe work queues, and N worker
+// threads drive the three-stage destage pipeline (kdd/destage.hpp) per job:
+//
+//   stripe lock -> [policy lock: prepare] -> fold (NO policy lock)
+//               -> [policy lock: commit]  -> stripe unlock
+//
+// Holding the job's stripe lock across all three stages freezes foreground
+// requests to the claimed groups, so prepare's snapshot stays describable by
+// commit's revalidation; releasing the policy lock for fold() is where the
+// parallelism comes from — the XOR/decompress compute of up to N batches
+// overlaps with each other and with foreground requests on other stripes.
+// Workers prefer jobs from their home stripe range and steal from the rest.
+// In-flight work is bounded (the feeder refills only while fewer than
+// `threads` jobs are outstanding); flush() pauses refills, drains the queues
+// to a deterministic barrier, then runs the policy's own flush inline.
+//
+// Lock order with the pool: feeder takes policy -> queue; workers take
+// queue (released) -> stripe -> policy. Nobody holds queue while waiting on
+// stripe/policy in the other direction, so the order is acyclic.
 #pragma once
 
 #include <array>
@@ -30,10 +52,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "cache/policy.hpp"
+#include "kdd/destage.hpp"
 #include "raid/layout.hpp"
 
 namespace kdd {
@@ -67,9 +93,15 @@ class ConcurrentCache {
   /// Stripe-aware overload: front locks are keyed by `layout->group_of(lba)`
   /// so every request touching one parity group funnels through one stripe.
   /// `layout` is not owned and must outlive the facade.
+  ///
+  /// `cleaner_threads` > 0 starts the parallel cleaner pool *if* the policy
+  /// implements DestageSource (KDD does); the policy's own inline watermark
+  /// cleaning is rerouted to the pool via set_external_cleaner. Policies
+  /// without a DestageSource silently fall back to the single idle cleaner.
   ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
                   std::chrono::milliseconds idle_wakeup =
-                      std::chrono::milliseconds(50));
+                      std::chrono::milliseconds(50),
+                  std::uint32_t cleaner_threads = 0);
 
   ~ConcurrentCache();
 
@@ -99,6 +131,13 @@ class ConcurrentCache {
   /// Number of idle passes the cleaner has run.
   std::uint64_t cleaner_passes() const { return cleaner_passes_.load(); }
 
+  /// Pool introspection: worker count (0 = pool disabled) and destage
+  /// batches committed by pool workers since construction.
+  std::size_t pool_threads() const { return pool_.size(); }
+  std::uint64_t pool_batches() const {
+    return pool_batches_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-stripe front-door counters, cache-line separated so the 16 stripes
   /// never false-share while recording.
@@ -109,12 +148,34 @@ class ConcurrentCache {
     std::atomic<std::uint64_t> write_errors{0};
   };
 
+  /// One stripe's worth of claimed parity groups, processed by one worker
+  /// under that stripe's front lock.
+  struct DestageJob {
+    std::size_t stripe = 0;
+    std::vector<GroupId> groups;
+  };
+
   void cleaner_main();
   std::size_t stripe_of(Lba lba) const;
+  std::size_t stripe_of_group(GroupId g) const;
   void touch_idle_clock();
   /// Copies the policy's stats into the lock-free snapshot slot. Caller must
   /// hold mu_.
   void publish_snapshot_locked() const;
+
+  // -- Cleaner pool ---------------------------------------------------------
+  /// Feeder step: claims dirty groups and queues per-stripe jobs. Caller
+  /// must hold mu_ (takes queue_mu_ inside: lock order policy -> queue).
+  /// `force` claims even below the high watermark (idle-triggered drain).
+  void refill_pool_locked(bool force);
+  /// Worker loop: pop (home range first, then steal), run the pipeline.
+  void pool_main(std::size_t worker);
+  /// Runs one job: stripe lock, prepare under mu_, fold unlocked, commit
+  /// under mu_.
+  void run_destage_job(const DestageJob& job);
+  /// Wakes the feeder immediately when deferred work passed the watermark
+  /// (callers: write path, after releasing mu_).
+  void nudge_feeder();
 
   CachePolicy* policy_;
   const RaidLayout* layout_;  // may be null: stripe by raw LBA
@@ -140,6 +201,23 @@ class ConcurrentCache {
   std::atomic<std::chrono::steady_clock::rep> last_request_ns_;
 
   std::atomic<std::uint64_t> cleaner_passes_{0};
+
+  // Cleaner pool state. queue_mu_ guards the queues and the job counters;
+  // it is strictly *inner* to mu_ for the feeder and never held while a
+  // worker acquires stripe/policy locks.
+  DestageSource* destage_ = nullptr;  ///< policy as DestageSource (may be null)
+  std::size_t pool_size_ = 0;  ///< set before any worker starts (stable)
+  std::mutex queue_mu_;
+  std::array<std::deque<DestageJob>, kStripes> queues_;
+  std::size_t queued_jobs_ = 0;
+  std::size_t inflight_jobs_ = 0;
+  bool pool_stop_ = false;
+  std::condition_variable queue_cv_;  ///< workers: work available / stop
+  std::condition_variable drain_cv_;  ///< flush: queues empty && none inflight
+  std::atomic<int> refill_pause_{0};  ///< >0: flush draining, feeder holds off
+  std::atomic<std::uint64_t> pool_batches_{0};
+  std::vector<std::thread> pool_;
+
   std::thread cleaner_;  // last member: starts after everything is ready
 };
 

@@ -26,6 +26,7 @@ struct KddMetrics {
   obs::Counter delta_fallbacks;
   obs::Counter groups_healed;
   obs::Counter recoveries;
+  obs::Histogram destage_batch_groups;  ///< groups per committed destage batch
 };
 
 KddMetrics& kdd_metrics() {
@@ -36,6 +37,8 @@ KddMetrics& kdd_metrics() {
     km->delta_fallbacks = obs::Counter(&reg, "kdd_delta_fallbacks_total");
     km->groups_healed = obs::Counter(&reg, "kdd_groups_healed_total");
     km->recoveries = obs::Counter(&reg, "kdd_recoveries_total");
+    km->destage_batch_groups =
+        obs::Histogram(&reg, "kdd_destage_batch_groups");
     return km;
   }();
   return *m;
@@ -612,8 +615,30 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
 // Cleaning (Section III-D)
 // ---------------------------------------------------------------------------
 
+void KddCache::drain_groups_legacy(std::uint64_t target_pages, IoPlan* plan) {
+  // Starvation fix: the old loop restarted at dirty_groups_.begin() every
+  // iteration, so whichever group hashed to the first bucket was recleaned
+  // over and over while groups later in iteration order waited indefinitely
+  // under a steady dirtying load. Draining a snapshot gives every dirty
+  // group a turn before any group is visited twice; the outer loop re-snaps
+  // only when a full pass made progress (groups dirtied mid-pass).
+  bool progress = true;
+  while (progress && old_pages_ + dez_pages_ > target_pages &&
+         !dirty_groups_.empty()) {
+    progress = false;
+    std::vector<GroupId> snapshot;
+    snapshot.reserve(dirty_groups_.size());
+    for (const auto& [g, n] : dirty_groups_) snapshot.push_back(g);
+    for (const GroupId g : snapshot) {
+      if (old_pages_ + dez_pages_ <= target_pages) return;
+      if (!dirty_groups_.contains(g) || claimed_groups_.contains(g)) continue;
+      if (clean_group(g, plan)) progress = true;
+    }
+  }
+}
+
 void KddCache::maybe_clean(IoPlan* plan) {
-  if (cleaning_) return;
+  if (cleaning_ || external_cleaner_) return;
   const auto high = static_cast<std::uint64_t>(
       config_.clean_high_watermark * static_cast<double>(sets_.pages()));
   if (old_pages_ + dez_pages_ <= high) return;
@@ -622,8 +647,12 @@ void KddCache::maybe_clean(IoPlan* plan) {
   IoPlan* clean_plan = bg_or(plan);  // cleaning runs in the background thread
   const auto low = static_cast<std::uint64_t>(
       config_.clean_low_watermark * static_cast<double>(sets_.pages()));
-  while (old_pages_ + dez_pages_ > low && !dirty_groups_.empty()) {
-    if (!clean_group(dirty_groups_.begin()->first, clean_plan)) break;
+  if (config_.destage_batching) {
+    while (old_pages_ + dez_pages_ > low && !dirty_groups_.empty()) {
+      if (!destage_batch_once(clean_plan)) break;
+    }
+  } else {
+    drain_groups_legacy(low, clean_plan);
   }
   ++stats_.cleanings;
   cleaning_ = false;
@@ -634,10 +663,25 @@ void KddCache::clean_all(IoPlan* plan) {
   cleaning_ = true;
   // No kClean span here: the callers (on_idle, flush, failure handling)
   // install the root that attributes this pass.
-  while (!dirty_groups_.empty()) {
-    if (!clean_group(dirty_groups_.begin()->first, plan)) break;
+  if (config_.destage_batching) {
+    while (!dirty_groups_.empty() &&
+           claimed_groups_.size() < dirty_groups_.size()) {
+      if (!destage_batch_once(plan)) break;
+    }
+  } else {
+    drain_groups_legacy(0, plan);
   }
   cleaning_ = false;
+}
+
+bool KddCache::destage_batch_once(IoPlan* plan) {
+  const std::vector<GroupId> groups = destage_claim(destage_batch_size());
+  if (groups.empty()) return false;
+  std::unique_ptr<DestageUnit> unit = destage_prepare(groups, plan);
+  if (!unit) return false;
+  unit->fold();
+  destage_commit(*unit, plan);
+  return true;
 }
 
 bool KddCache::clean_group(GroupId g, IoPlan* plan) {
@@ -780,6 +824,339 @@ bool KddCache::clean_group(GroupId g, IoPlan* plan) {
   }
   ++stats_.groups_cleaned;
   return !dirty_groups_.contains(g);
+}
+
+// ---------------------------------------------------------------------------
+// Batched destage pipeline (DestageSource; see kdd/destage.hpp)
+// ---------------------------------------------------------------------------
+
+/// Self-contained destage work unit. `prepare` snapshots everything fold()
+/// needs — captured Delta blobs and, for reconstruct-flavour groups, the DAZ
+/// member images — so fold() runs with no policy lock and no access to live
+/// cache state. Commit revalidates each captured page before acting on it.
+class KddCache::BatchUnit final : public DestageUnit {
+ public:
+  struct PageWork {
+    std::uint32_t daz_idx = 0;
+    Lba lba = kInvalidLba;
+    std::uint32_t index = 0;  ///< data index within the parity group
+    Delta blob;               ///< delta captured at prepare (real mode)
+    Page xor_diff;            ///< raw XOR diff, produced by fold()
+    bool have_blob = false;
+  };
+  /// Reconstruct flavour only: one entry per data member of the stripe.
+  struct MemberWork {
+    std::uint32_t slot = 0;
+    Page image;      ///< DAZ image captured at prepare (real mode)
+    bool ok = false; ///< readable; when false the array reads the disk copy
+  };
+  struct GroupWork {
+    GroupId group = 0;
+    bool reconstruct = false;  ///< all members cached: reconstruct-write
+    bool needs_heal = false;   ///< a delta was unloadable: commit heals
+    std::vector<PageWork> pages;      ///< every old page of the group
+    std::vector<MemberWork> members;  ///< reconstruct flavour, size data_disks
+  };
+
+  /// Stage 2 — pure compute over the snapshot, no lock: decompress every
+  /// captured delta into its raw XOR diff; for reconstruct-flavour groups
+  /// additionally fold each diff into its member image (DAZ base ^ raw XOR ==
+  /// current version).
+  void fold() override {
+    const obs::SpanScope span(obs::Stage::kXorFold);
+    if (!real_) return;
+    for (GroupWork& gw : work_) {
+      if (gw.needs_heal) continue;
+      for (PageWork& pw : gw.pages) {
+        if (!pw.have_blob) continue;
+        pw.xor_diff = make_page();
+        KDD_CHECK(delta_to_xor_into(pw.blob, pw.xor_diff));
+        if (gw.reconstruct && gw.members[pw.index].ok) {
+          xor_into(gw.members[pw.index].image, pw.xor_diff);
+        }
+      }
+    }
+  }
+
+  std::span<const GroupId> groups() const override { return groups_; }
+
+  std::vector<GroupId> groups_;
+  std::vector<GroupWork> work_;
+  bool real_ = false;
+};
+
+std::size_t KddCache::destage_batch_size() const {
+  if (config_.destage_batch_groups > 0) return config_.destage_batch_groups;
+  const auto high = static_cast<std::uint64_t>(
+      config_.clean_high_watermark * static_cast<double>(sets_.pages()));
+  const auto low = static_cast<std::uint64_t>(
+      config_.clean_low_watermark * static_cast<double>(sets_.pages()));
+  // Autosize from the watermark gap: each cleaned group frees its old pages
+  // plus (amortised) its DEZ share, so a quarter-gap batch brings a cleaner
+  // that woke at the high watermark back under low in a handful of pipeline
+  // passes without claiming the whole dirty set at once.
+  const std::uint64_t gap = high > low ? high - low : 1;
+  return std::clamp<std::size_t>(static_cast<std::size_t>(gap / 4), 4, 64);
+}
+
+bool KddCache::destage_pending() const {
+  const auto high = static_cast<std::uint64_t>(
+      config_.clean_high_watermark * static_cast<double>(sets_.pages()));
+  return old_pages_ + dez_pages_ > high &&
+         claimed_groups_.size() < dirty_groups_.size();
+}
+
+std::vector<GroupId> KddCache::destage_claim(std::size_t max_groups) {
+  std::vector<GroupId> cands;
+  if (max_groups == 0) return cands;
+  cands.reserve(dirty_groups_.size());
+  for (const auto& [g, n] : dirty_groups_) {
+    if (!claimed_groups_.contains(g)) cands.push_back(g);
+  }
+  // Disk-layout order: a batch destaged in (parity disk, parity page) order
+  // walks each spindle sequentially instead of hopping between rotations.
+  const RaidLayout& layout = raid_.layout();
+  const bool has_parity = layout.geometry().parity_disks() > 0;
+  std::sort(cands.begin(), cands.end(), [&](GroupId a, GroupId b) {
+    if (has_parity) {
+      const DiskAddr pa = layout.parity_addr(a);
+      const DiskAddr pb = layout.parity_addr(b);
+      if (pa.disk != pb.disk) return pa.disk < pb.disk;
+      if (pa.page != pb.page) return pa.page < pb.page;
+    }
+    return a < b;
+  });
+  if (cands.size() > max_groups) cands.resize(max_groups);
+  for (const GroupId g : cands) claimed_groups_.insert(g);
+  return cands;
+}
+
+void KddCache::destage_abandon(std::span<const GroupId> groups) {
+  for (const GroupId g : groups) claimed_groups_.erase(g);
+}
+
+std::unique_ptr<DestageUnit> KddCache::destage_prepare(
+    std::span<const GroupId> groups, IoPlan* plan) {
+  const obs::SpanScope span(obs::Stage::kDeltaLoad);
+  const RaidLayout& layout = raid_.layout();
+  const std::uint32_t dd = layout.geometry().data_disks();
+  const bool real = ssd_.real();
+
+  auto unit = std::make_unique<BatchUnit>();
+  unit->real_ = real;
+  for (const GroupId g : groups) {
+    KDD_CHECK(claimed_groups_.contains(g));
+    if (!dirty_groups_.contains(g)) {
+      // Resolved behind the pipeline's back (emergency synchronous fold):
+      // nothing left to destage, release the claim.
+      claimed_groups_.erase(g);
+      continue;
+    }
+    BatchUnit::GroupWork gw;
+    gw.group = g;
+    const std::uint32_t set = set_for(layout.group_member(g, 0));
+    const std::uint32_t base = set * sets_.ways();
+    for (std::uint32_t w = 0; w < sets_.ways(); ++w) {
+      const CacheSets::CacheSlot& s = sets_.slot(base + w);
+      if (s.state == PageState::kOld && layout.group_of(s.lba) == g) {
+        BatchUnit::PageWork pw;
+        pw.daz_idx = base + w;
+        pw.lba = s.lba;
+        pw.index = layout.index_in_group(s.lba);
+        gw.pages.push_back(std::move(pw));
+      }
+    }
+    KDD_CHECK(!gw.pages.empty());
+
+    // Reconstruct-write when every data member is cache-resident
+    // (Section III-D), exactly like the per-group cleaner.
+    std::vector<std::uint32_t> member_slots(dd, CacheSets::kNone);
+    gw.reconstruct = true;
+    for (std::uint32_t k = 0; k < dd; ++k) {
+      member_slots[k] = sets_.find_data(set, layout.group_member(g, k));
+      if (member_slots[k] == CacheSets::kNone) {
+        gw.reconstruct = false;
+        break;
+      }
+    }
+
+    if (gw.reconstruct) {
+      gw.members.resize(dd);
+      for (std::uint32_t k = 0; k < dd; ++k) {
+        BatchUnit::MemberWork& mw = gw.members[k];
+        mw.slot = member_slots[k];
+        if (real) {
+          mw.image = make_page();
+          if (ssd_.read_data(mw.slot, mw.image, plan) != IoStatus::kOk) {
+            // Unreadable cache copy: leave ok false so the array reads the
+            // member from disk (current for clean AND old pages).
+            note_media_fallback("member daz unreadable while cleaning");
+            continue;
+          }
+          mw.ok = true;
+        } else {
+          ssd_.read_data(mw.slot, {}, plan);
+          mw.ok = true;
+        }
+      }
+      for (BatchUnit::PageWork& pw : gw.pages) {
+        const CacheSets::CacheSlot& s = sets_.slot(pw.daz_idx);
+        if (real) {
+          if (!load_delta(s, pw.blob, plan)) {
+            note_media_fallback("member delta unreadable while cleaning");
+            gw.members[pw.index].ok = false;  // disk copy stands in
+            continue;
+          }
+          pw.have_blob = true;
+        } else {
+          charge_delta_read(s, plan);
+        }
+      }
+    } else {
+      for (BatchUnit::PageWork& pw : gw.pages) {
+        const CacheSets::CacheSlot& s = sets_.slot(pw.daz_idx);
+        if (real) {
+          if (!load_delta(s, pw.blob, plan)) {
+            // One lost delta poisons the whole RMW: commit heals the group.
+            note_media_fallback("delta unreadable for cleaning rmw");
+            gw.needs_heal = true;
+            break;
+          }
+          pw.have_blob = true;
+        } else {
+          charge_delta_read(s, plan);
+        }
+      }
+    }
+    unit->groups_.push_back(g);
+    unit->work_.push_back(std::move(gw));
+  }
+  if (unit->groups_.empty()) return nullptr;
+  return unit;
+}
+
+void KddCache::destage_commit(DestageUnit& u, IoPlan* plan) {
+  auto& unit = static_cast<BatchUnit&>(u);
+  const obs::SpanScope span(obs::Stage::kDestageWrite);
+  const bool real = ssd_.real();
+  kdd_metrics().destage_batch_groups.observe(unit.groups_.size());
+
+  // Pass 1 — revalidate against live slot state and update parity. Groups
+  // whose pages were all resolved behind the pipeline (no longer dirty) are
+  // skipped; individual pages resolved behind the pipeline are dropped from
+  // the group so their diff is never double-applied. Reconstruct-flavour
+  // groups commit one by one; RMW-flavour groups coalesce into a single
+  // batched call (one parity read + one fold + one parity write per group).
+  std::vector<BatchUnit::GroupWork*> rmw_groups;
+  std::vector<std::vector<GroupDelta>> rmw_deltas;  // stable inner buffers
+  std::vector<BatchUnit::GroupWork*> reclaimable;
+  rmw_groups.reserve(unit.work_.size());
+  rmw_deltas.reserve(unit.work_.size());
+  reclaimable.reserve(unit.work_.size());
+  for (BatchUnit::GroupWork& gw : unit.work_) {
+    if (!dirty_groups_.contains(gw.group)) continue;
+    if (gw.needs_heal) {
+      heal_group(gw.group, plan);
+      continue;
+    }
+    std::erase_if(gw.pages, [&](const BatchUnit::PageWork& pw) {
+      const CacheSets::CacheSlot& s = sets_.slot(pw.daz_idx);
+      return s.state != PageState::kOld || s.lba != pw.lba;
+    });
+    if (gw.pages.empty()) continue;  // nothing left that we captured
+    if (gw.reconstruct) {
+      std::vector<const Page*> ptrs(gw.members.size(), nullptr);
+      for (std::size_t k = 0; k < gw.members.size(); ++k) {
+        if (real && gw.members[k].ok) ptrs[k] = &gw.members[k].image;
+      }
+      const IoStatus st =
+          raid_.update_parity_reconstruct_cached(gw.group, ptrs, plan);
+      if (st != IoStatus::kOk) {
+        note_media_fallback("reconstruct-write failed while cleaning");
+        heal_group(gw.group, plan);
+        continue;
+      }
+      reclaimable.push_back(&gw);
+    } else {
+      std::vector<GroupDelta> deltas;
+      if (real) {
+        deltas.reserve(gw.pages.size());
+        for (const BatchUnit::PageWork& pw : gw.pages) {
+          KDD_CHECK(pw.have_blob);
+          deltas.push_back({pw.index, &pw.xor_diff});
+        }
+      }
+      rmw_deltas.push_back(std::move(deltas));
+      rmw_groups.push_back(&gw);
+    }
+  }
+  if (!rmw_groups.empty()) {
+    std::vector<GroupParityUpdate> updates(rmw_groups.size());
+    for (std::size_t i = 0; i < rmw_groups.size(); ++i) {
+      updates[i].group = rmw_groups[i]->group;
+      updates[i].deltas = rmw_deltas[i];
+      updates[i].finalize = true;
+    }
+    std::vector<GroupId> failed;
+    (void)raid_.update_parity_rmw_batch(updates, plan, &failed);
+    for (BatchUnit::GroupWork* gw : rmw_groups) {
+      if (std::find(failed.begin(), failed.end(), gw->group) != failed.end()) {
+        note_media_fallback("parity rmw failed while cleaning");
+        heal_group(gw->group, plan);
+        continue;
+      }
+      reclaimable.push_back(gw);
+    }
+  }
+
+  // Pass 2 — reclaim (Section III-D): scheme 1 rewrites the combined page as
+  // clean (DAZ base ^ raw XOR, using the diff fold() already produced);
+  // scheme 2 drops old pages and their deltas.
+  ScratchPage reclaim_sp;  // hoisted: one borrow for the whole reclaim loop
+  for (BatchUnit::GroupWork* gw : reclaimable) {
+    for (BatchUnit::PageWork& pw : gw->pages) {
+      CacheSets::CacheSlot& s = sets_.slot(pw.daz_idx);
+      if (config_.reclaim_as_clean) {
+        if (real) {
+          Page& current = *reclaim_sp;
+          const bool readable =
+              pw.have_blob &&
+              ssd_.read_data(pw.daz_idx, current, plan) == IoStatus::kOk;
+          if (!readable) {
+            // Cannot rebuild the combined page: fall back to scheme-2 drop
+            // (parity for the group is already up to date at this point).
+            note_media_fallback("combined page unreadable at reclaim");
+            invalidate_delta(pw.daz_idx, plan);
+            drop_old_page(pw.daz_idx, plan);
+            continue;
+          }
+          xor_into(current, pw.xor_diff);
+          invalidate_delta(pw.daz_idx, plan);
+          if (ssd_.write_data(pw.daz_idx, SsdWriteKind::kWriteUpdate, current,
+                              plan) != IoStatus::kOk) {
+            note_media_fallback("reclaim rewrite failed");
+            drop_old_page(pw.daz_idx, plan);
+            continue;
+          }
+        } else {
+          ssd_.read_data(pw.daz_idx, {}, plan);
+          charge_delta_read(s, plan);
+          invalidate_delta(pw.daz_idx, plan);
+          ssd_.write_data(pw.daz_idx, SsdWriteKind::kWriteUpdate, {}, plan);
+        }
+        sets_.set_state(pw.daz_idx, PageState::kClean);
+        add_map_entry(pw.daz_idx, plan);
+        note_group_repair(raid_.layout().group_of(s.lba));
+        --old_pages_;
+      } else {
+        invalidate_delta(pw.daz_idx, plan);
+        drop_old_page(pw.daz_idx, plan);
+      }
+    }
+    ++stats_.groups_cleaned;
+  }
+
+  for (const GroupId g : unit.groups_) claimed_groups_.erase(g);
 }
 
 void KddCache::flush(IoPlan* plan) {

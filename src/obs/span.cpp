@@ -49,6 +49,9 @@ const char* stage_name(Stage s) {
     case Stage::kRetry: return "retry";
     case Stage::kMetadataLog: return "metadata_log";
     case Stage::kClean: return "clean";
+    case Stage::kDeltaLoad: return "delta_load";
+    case Stage::kXorFold: return "xor_fold";
+    case Stage::kDestageWrite: return "destage_write";
     case Stage::kHeal: return "heal";
     case Stage::kRecovery: return "recovery";
     case Stage::kNumStages: break;

@@ -60,6 +60,9 @@ enum class Stage : std::uint8_t {
   kRetry,        ///< transient-error retry backoff absorption
   kMetadataLog,  ///< metadata-log append / GC
   kClean,        ///< background cleaning pass
+  kDeltaLoad,    ///< destage stage 1: delta load/decode from NVRAM/DEZ
+  kXorFold,      ///< destage stage 2: decompress + XOR fold (lock-free)
+  kDestageWrite, ///< destage stage 3: batched parity RMW + page reclaim
   kHeal,         ///< group heal after a cache-media fault
   kRecovery,     ///< power-failure recovery
   kNumStages

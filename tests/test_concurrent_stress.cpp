@@ -175,6 +175,104 @@ TEST(ConcurrentStress, CleanerRacesSubmitters) {
   EXPECT_GT(cache.cleaner_passes(), 0u);
 }
 
+// Cleaner-pool stress: N writer threads over disjoint parity groups with a
+// 4-worker destage pool racing them. Read-your-writes must hold while the
+// pool claims groups, folds deltas without the policy lock and commits
+// parity behind the writers' backs. (TSan posture: the pool's queue/stripe/
+// policy lock ordering is exactly what this test hammers.)
+TEST(ConcurrentStress, CleanerPoolRacesDisjointWriters) {
+  const RaidGeometry geo = stress_geo();
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = 256;
+  SsdModel ssd(scfg);
+  KddCache kdd(stress_config(), &array, &ssd);
+  ConcurrentCache cache(&kdd, &array.layout(), std::chrono::milliseconds(1),
+                        /*cleaner_threads=*/4);
+  ASSERT_EQ(cache.pool_threads(), 4u);
+
+  constexpr unsigned kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  const Lba span = std::min<Lba>(array.data_pages(), 640);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      ReferenceModel model;
+      Page buf = make_page();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Lba lba = rng.next_below(span);
+        while (array.layout().group_of(lba) % kThreads != t) {
+          lba = rng.next_below(span);
+        }
+        if (rng.next_bool(0.7)) {
+          const Page data = test_page(lba, static_cast<std::uint64_t>(i) * kThreads + t);
+          if (cache.write(lba, data) != IoStatus::kOk) ++failures;
+          model.write(lba, data);
+        } else {
+          if (cache.read(lba, buf) != IoStatus::kOk) ++failures;
+          if (model.contains(lba) && buf != model.read(lba)) ++failures;
+        }
+      }
+      for (const auto& [lba, expect] : model.pages()) {
+        if (cache.read(lba, buf) != IoStatus::kOk || buf != expect) ++failures;
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  cache.flush();
+  kdd.check_invariants();
+  EXPECT_TRUE(array.scrub().empty());
+}
+
+// Repeated blocking flushes racing writers and the pool: every flush must
+// reach its deterministic drain barrier (queues empty, no in-flight batch)
+// and leave parity scrubbed clean, while writers keep dirtying new groups.
+TEST(ConcurrentStress, PoolFlushBarrierUnderTraffic) {
+  const RaidGeometry geo = stress_geo();
+  RaidArray array(geo);
+  SsdConfig scfg;
+  scfg.logical_pages = 256;
+  SsdModel ssd(scfg);
+  KddCache kdd(stress_config(), &array, &ssd);
+  ConcurrentCache cache(&kdd, &array.layout(), std::chrono::milliseconds(1),
+                        /*cleaner_threads=*/3);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(4000 + t);
+      while (!stop.load()) {
+        const Lba lba = rng.next_below(256);
+        if (cache.write(lba, test_page(lba, rng.next_u64())) != IoStatus::kOk) {
+          ++failures;
+        }
+      }
+    });
+  }
+  std::thread flusher([&] {
+    for (int i = 0; i < 8; ++i) {
+      cache.flush();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  flusher.join();
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  cache.flush();
+  kdd.check_invariants();
+  EXPECT_TRUE(array.scrub().empty());
+  EXPECT_GT(cache.front_stats().flushes, 0u);
+}
+
 // The acceptance property of the replay mode: the final logical state after
 // a multi-threaded replay is byte-identical to the single-threaded replay of
 // the same trace (ops partitioned by parity group, payloads deterministic).
