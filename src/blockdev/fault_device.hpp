@@ -104,6 +104,10 @@ class FaultInjectingDevice final : public BlockDevice {
   void attach_rail(std::shared_ptr<PowerRail> rail);
   const std::shared_ptr<PowerRail>& rail() const { return rail_; }
   void power_restore() { rail_->restore(); }
+  /// False while the shared rail is down (every op is being rejected). Lets
+  /// long-running maintenance (rebuild, scrub) stop cleanly at a power cut
+  /// instead of misreading the rejections as media loss.
+  bool powered() const { return !rail_ || rail_->on(); }
 
   /// Forgets all per-page fault state (latent errors, checksums) — required
   /// after the media behind the decorator is swapped (disk replace/rebuild).

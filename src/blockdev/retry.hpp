@@ -2,22 +2,43 @@
 //
 // kTransient means "the op did not happen, but trying again may work"
 // (timeouts, UNIT ATTENTION-class hiccups). The helper retries with a
-// deterministic linear backoff and reports the total backoff so callers can
+// deterministic backoff and reports the total backoff so callers can
 // charge it into the event-sim clock via IoPlan::add_retry_delay — retries
 // cost simulated time, not just extra device ops.
+//
+// Two backoff modes:
+//   * jitter_seed == 0 — legacy linear backoff (attempt k waits k * base).
+//   * jitter_seed != 0 — decorrelated jitter (AWS-style): each wait is drawn
+//     uniformly from [base, min(cap, 3 * previous_wait)]. During a
+//     transient-fault storm (e.g. every disk hiccuping while a rebuild
+//     hammers the array) linear backoff makes all callers retry in lockstep,
+//     re-colliding on every attempt; the jittered waits decorrelate them.
+//     The stream is seeded, so a given run is still reproducible.
+//
+// Every exhausted retry budget increments kdd_retry_exhausted_total in the
+// global metrics registry, so storms that overwhelm the budget are visible
+// in telemetry rather than silently demoted to kFailed.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
 #include "blockdev/block_device.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace kdd {
 
 struct RetryPolicy {
   std::uint32_t max_attempts = 4;  ///< 1 initial try + 3 retries
-  SimTime backoff_base_us = 100;   ///< attempt k waits k * base before retrying
+  SimTime backoff_base_us = 100;   ///< linear slope / jitter lower bound
+  SimTime backoff_cap_us = 2000;   ///< jittered waits never exceed this
+  /// 0 = legacy deterministic linear backoff; non-zero seeds the
+  /// decorrelated-jitter stream (reproducible per run, decorrelated across
+  /// concurrent retry loops).
+  std::uint64_t jitter_seed = 0;
 };
 
 struct RetryResult {
@@ -25,6 +46,31 @@ struct RetryResult {
   std::uint32_t attempts = 0;
   SimTime backoff_us = 0;  ///< total simulated wait spent between attempts
 };
+
+namespace retry_detail {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-process retry-loop sequence number: mixed into the seed so that two
+/// concurrent retry loops with the same policy draw different jitter streams
+/// (that is the decorrelation), while a fixed call order stays reproducible.
+inline std::uint64_t next_stream() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_exhausted() {
+  static const obs::Counter counter(&obs::MetricsRegistry::global(),
+                                    "kdd_retry_exhausted_total");
+  counter.inc();
+}
+
+}  // namespace retry_detail
 
 /// Invokes `op` (an IoStatus() callable) up to policy.max_attempts times while
 /// it keeps returning kTransient. If the retry budget is exhausted the status
@@ -34,13 +80,33 @@ template <typename Fn>
 RetryResult with_retry(Fn&& op, const RetryPolicy& policy = {}) {
   RetryResult r;
   const std::uint32_t budget = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  std::uint64_t rng = 0;
+  SimTime prev_wait = policy.backoff_base_us;
   for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
     r.attempts = attempt;
     r.status = op();
     if (r.status != IoStatus::kTransient) return r;
-    if (attempt < budget) r.backoff_us += policy.backoff_base_us * attempt;
+    if (attempt < budget) {
+      if (policy.jitter_seed == 0) {
+        r.backoff_us += policy.backoff_base_us * attempt;
+      } else {
+        if (rng == 0) {
+          rng = retry_detail::splitmix64(policy.jitter_seed ^
+                                         retry_detail::next_stream());
+        }
+        rng = retry_detail::splitmix64(rng);
+        const SimTime lo = policy.backoff_base_us;
+        const SimTime hi =
+            std::min<SimTime>(policy.backoff_cap_us,
+                              std::max<SimTime>(lo, prev_wait * 3));
+        const SimTime wait = hi > lo ? lo + rng % (hi - lo + 1) : lo;
+        r.backoff_us += wait;
+        prev_wait = wait;
+      }
+    }
   }
   r.status = IoStatus::kFailed;
+  retry_detail::count_exhausted();
   return r;
 }
 

@@ -156,6 +156,14 @@ struct NvramState {
   MetadataBuffer metadata;
   std::uint64_t log_head = 0;  ///< monotonically increasing page counters;
   std::uint64_t log_tail = 0;  ///< physical slot = counter % partition_pages
+
+  // Online-rebuild checkpoint (ISSUE 6): which disk was being rebuilt and how
+  // far the cursor got, persisted by the RebuildEngine's checkpoint sink. A
+  // crash mid-rebuild resumes from here instead of re-reconstructing
+  // completed chunks (and without forgetting the array was degraded).
+  std::uint32_t rebuild_disk = 0;
+  std::uint64_t rebuild_cursor = 0;
+  bool rebuild_active = false;
 };
 
 }  // namespace kdd

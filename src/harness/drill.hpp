@@ -1,0 +1,113 @@
+// Reliability drill harness (ISSUE 6): rolling disk replacement + continuous
+// background scrub + an optional power cut, all under a live seeded workload
+// against the full prototype stack (RaidArray + SsdModel + NVRAM + KddCache +
+// RebuildEngine + ScrubScheduler).
+//
+// Every drill runs the SAME seeded workload twice:
+//   * a healthy pass — no faults — whose end-state digest (FNV-1a over every
+//     page of the working set read back through the cache) is ground truth,
+//   * a faulted pass — disks failed online at configured request fractions,
+//     rebuilt incrementally while the workload keeps flowing, scrub ticking
+//     in the background, optionally with power torn mid-rebuild and resumed
+//     from the NVRAM checkpoint.
+// The faulted pass must end byte-identical to the healthy one (same digest),
+// with every rebuild complete, zero groups reconstructed from stale parity,
+// and a clean final parity scrub. Per-request device-op costs are recorded in
+// both passes so the drill can bound the foreground p99 inflation the online
+// rebuild causes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blockdev/ssd_model.hpp"
+#include "cache/policy.hpp"
+#include "common/units.hpp"
+#include "raid/layout.hpp"
+#include "raid/rebuild.hpp"
+#include "raid/scrub.hpp"
+
+namespace kdd {
+
+struct DrillConfig {
+  int requests = 3000;
+  Lba working_set = 400;
+  double write_prob = 0.55;
+  double content_locality = 0.25;
+
+  RaidGeometry geo;  ///< defaulted to a small RAID-5 in the constructor
+  SsdConfig ssd;
+  PolicyConfig policy;
+
+  /// Rolling replacement schedule: disk `disk` fails online once
+  /// `fraction * requests` requests have completed. Fractions must ascend.
+  struct FailPoint {
+    double fraction = 0.0;
+    std::uint32_t disk = 0;
+  };
+  std::vector<FailPoint> fail_points = {{0.25, 1}, {0.60, 3}};
+
+  /// Hot spares available for the whole drill (the pool gates every
+  /// degraded -> rebuilding transition).
+  std::uint32_t spares = 4;
+
+  OnlineRebuildConfig rebuild;
+  ScrubConfig scrub;
+
+  /// Tear power once the first rebuild's NVRAM checkpoint passes 30% of the
+  /// array, then restore, resume from the checkpoint, recover the cache and
+  /// carry on.
+  bool power_cut_mid_rebuild = false;
+
+  DrillConfig();
+};
+
+struct DrillReport {
+  std::uint64_t seed = 0;
+  int requests_completed = 0;
+
+  std::uint64_t healthy_digest = 0;
+  std::uint64_t faulted_digest = 0;
+
+  std::uint64_t rebuilds_started = 0;
+  std::uint64_t rebuilds_completed = 0;
+  std::uint64_t stale_rebuild_folds = 0;  ///< must stay 0 (barrier works)
+  std::uint64_t degraded_reads = 0;       ///< array-level reconstructing reads
+  std::uint64_t degraded_cache_hits = 0;  ///< lost pages served from cache
+  std::uint64_t degraded_delta_folds = 0; ///< fold-then-retry recoveries
+  std::uint64_t barrier_deferrals = 0;
+  std::uint64_t requests_while_degraded = 0;  ///< dwell outside healthy, in ops
+
+  std::uint64_t scrub_groups = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t scrub_passes = 0;
+
+  bool power_cut_fired = false;
+  bool checkpoint_resumed = false;
+
+  /// Per-request device-op cost (disk reads + writes attributable to the
+  /// request, including background work it absorbed), 99th percentile.
+  std::uint64_t healthy_p99_ops = 0;
+  std::uint64_t faulted_p99_ops = 0;
+
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+class ReliabilityDrillRunner {
+ public:
+  explicit ReliabilityDrillRunner(DrillConfig config = {});
+
+  /// Healthy pass, then faulted pass, then the digest/rebuild/scrub verdict.
+  DrillReport run(std::uint64_t seed);
+
+  const DrillConfig& config() const { return config_; }
+
+ private:
+  struct Rig;
+
+  DrillConfig config_;
+};
+
+}  // namespace kdd

@@ -9,6 +9,7 @@
 #include "compress/content.hpp"
 #include "kdd/kdd_cache.hpp"
 #include "raid/raid_array.hpp"
+#include "raid/rebuild.hpp"
 
 namespace kdd {
 
@@ -172,6 +173,124 @@ TortureReport TortureRunner::run_case(std::uint64_t seed, std::uint64_t cut_afte
 
   // The recovered stack must keep working: more traffic, then a full flush
   // and a parity scrub that has to come back clean.
+  run_workload(rig, seed * 0x9e3779b97f4a7c15ull + 1,
+               config_.post_recovery_requests, &rep);
+  rig.kdd->flush(nullptr);
+  if (!rig.array.scrub().empty()) {
+    rep.violations.push_back("parity scrub found inconsistent groups after flush");
+  }
+  verify_against_model(rig, &rep);
+  return rep;
+}
+
+TortureReport TortureRunner::run_rebuild_case(std::uint64_t seed) {
+  TortureReport rep;
+  rep.seed = seed;
+
+  Rig rig(config_);
+  rig.rail = std::make_shared<PowerRail>();
+  rig.array.attach_rail(rig.rail);
+  rig.cache_faults()->attach_rail(rig.rail);
+
+  // Deliberately slow rebuild (small chunks, frequent throttling) so the
+  // power cut reliably lands mid-rebuild.
+  OnlineRebuildConfig rcfg;
+  rcfg.chunk_groups = 8;
+  rcfg.min_chunk_groups = 2;
+  rcfg.ops_between_steps = 4;
+  rcfg.pressure_window = 64;
+
+  const std::uint64_t total = config_.geo.num_groups();
+  const auto threshold = static_cast<std::uint64_t>(
+      static_cast<double>(total) * config_.rebuild_cut_fraction);
+  {
+    RebuildEngine engine(&rig.array, rcfg);
+    rig.kdd->bind_rebuild_engine(&engine);
+
+    // Dirty the cache (staged deltas, stale parity), then lose a disk online.
+    run_workload(rig, seed, config_.requests, &rep);
+    if (!rig.kdd->handle_disk_failure_online(config_.rebuild_fail_disk)) {
+      rep.violations.push_back("online rebuild failed to start");
+      return rep;
+    }
+
+    // Foreground keeps flowing; the engine rebuilds in its slipstream. Tear
+    // the rail once the NVRAM checkpoint passes the threshold. The cut lands
+    // between requests: the ambiguity under test is the rebuild checkpoint.
+    std::uint64_t chunk_seed = seed ^ 0x5bf0363546f1d2c9ull;
+    while (rig.rail->on() && engine.rebuild_active()) {
+      run_workload(rig, ++chunk_seed, 8, &rep);
+      if (rig.nvram.rebuild_active && rig.nvram.rebuild_cursor >= threshold) {
+        rig.rail->cut();
+      }
+    }
+    if (!engine.rebuild_active()) {
+      rep.violations.push_back("rebuild completed before the cut threshold");
+      return rep;
+    }
+    rep.cut_fired = true;
+    rep.rebuild_cursor_at_cut = rig.nvram.rebuild_cursor;
+    rig.kdd->bind_rebuild_engine(nullptr);
+  }  // the engine (controller DRAM) dies with the power
+
+  // Power restore. The in-core cursor is gone (model that explicitly); the
+  // NVRAM checkpoint and the partially rebuilt replacement media survive.
+  rig.rail->restore();
+  rig.array.rebuild_abandon();
+  rig.kdd.reset();  // DRAM cache image is lost too
+  rep.checkpoint_survived = rig.nvram.rebuild_active &&
+                            rig.nvram.rebuild_disk == config_.rebuild_fail_disk;
+  if (!rep.checkpoint_survived) {
+    rep.violations.push_back("NVRAM rebuild checkpoint lost across the cut");
+    return rep;
+  }
+
+  // Resume order matters: re-arm the cursor BEFORE constructing the
+  // recovering cache, so recovery-era reads treat the un-rebuilt region as a
+  // down member instead of trusting garbage media.
+  RebuildEngine engine(&rig.array, rcfg);
+  RebuildCheckpoint cp;
+  cp.disk = rig.nvram.rebuild_disk;
+  cp.cursor = rig.nvram.rebuild_cursor;
+  cp.active = true;
+  engine.resume(cp);
+  rep.rebuild_cursor_at_resume = rig.array.rebuild_cursor();
+  if (rep.rebuild_cursor_at_resume < threshold) {
+    rep.violations.push_back("resumed cursor lost checkpointed progress");
+  }
+
+  rig.kdd = std::make_unique<KddCache>(config_.policy, &rig.array, &rig.ssd,
+                                       &rig.nvram, /*recover=*/true);
+  rig.cache_faults()->attach_rail(rig.rail);
+  rig.kdd->bind_rebuild_engine(&engine);
+
+  // Finish the rebuild. The write count on the replacement disk proves the
+  // completed chunks below the checkpoint are NOT reconstructed again: only
+  // the remaining groups (plus bounded destage parity traffic) touch it.
+  const std::uint64_t writes_before =
+      rig.array.faults(config_.rebuild_fail_disk).media_writes();
+  int stalls = 0;
+  while (engine.rebuild_active() && stalls < 1024) {
+    if (engine.pump(nullptr, /*urgent=*/true) == 0) ++stalls;
+  }
+  rep.rebuild_completed =
+      !rig.array.rebuild_active() && rig.array.failed_disk_count() == 0;
+  if (!rep.rebuild_completed) {
+    rep.violations.push_back("resumed rebuild did not complete");
+  }
+  rep.new_disk_writes_after_resume =
+      rig.array.faults(config_.rebuild_fail_disk).media_writes() - writes_before;
+  const std::uint64_t remaining = total - rep.rebuild_cursor_at_resume;
+  if (rep.new_disk_writes_after_resume > remaining + total / 8) {
+    rep.violations.push_back("resume re-reconstructed already-completed chunks");
+  }
+  if (rig.array.rebuild_stale_folds() != 0) {
+    rep.violations.push_back("rebuild reconstructed groups from stale parity");
+  }
+
+  verify_against_model(rig, &rep);
+
+  // The recovered, fully rebuilt stack must keep working.
   run_workload(rig, seed * 0x9e3779b97f4a7c15ull + 1,
                config_.post_recovery_requests, &rep);
   rig.kdd->flush(nullptr);

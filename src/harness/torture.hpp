@@ -47,6 +47,13 @@ struct TortureConfig {
   SsdConfig ssd;         ///< small SSD; logical_pages must equal policy.ssd_pages
   PolicyConfig policy;
 
+  /// run_rebuild_case: which disk fails, and how far (as a fraction of the
+  /// array's groups) the online rebuild must have progressed before power is
+  /// torn. The cut lands between requests — the ambiguity under test is the
+  /// rebuild checkpoint, not write atomicity (run_case covers that).
+  std::uint32_t rebuild_fail_disk = 1;
+  double rebuild_cut_fraction = 0.3;
+
   TortureConfig();
 };
 
@@ -67,6 +74,16 @@ struct TortureReport {
   /// Ops rejected while the rail was down, summed over the whole power domain
   /// (cache SSD + every RAID disk): proves the cut landed mid-workload.
   std::uint64_t domain_power_cut_rejects = 0;
+
+  // ---- run_rebuild_case only (power cut during an online rebuild) ---------
+  std::uint64_t rebuild_cursor_at_cut = 0;     ///< NVRAM checkpoint at the tear
+  std::uint64_t rebuild_cursor_at_resume = 0;  ///< cursor the engine resumed at
+  bool checkpoint_survived = false;  ///< NVRAM still said "rebuilding disk d"
+  bool rebuild_completed = false;
+  /// Writes the replacement disk absorbed while finishing the resumed
+  /// rebuild — bounded by the groups *beyond* the checkpoint (plus destage
+  /// parity traffic), proving completed chunks were not re-reconstructed.
+  std::uint64_t new_disk_writes_after_resume = 0;
 
   /// Empty == the seed passed. Each entry is a human-readable description of
   /// one integrity violation.
@@ -90,6 +107,14 @@ class TortureRunner {
   /// first cache write; a huge value never fires and degenerates to a clean
   /// power-down-after-idle cycle.
   TortureReport run_case(std::uint64_t seed, std::uint64_t cut_after);
+
+  /// Power-cut-during-rebuild cycle: seeded workload -> online disk failure
+  /// (degraded mode, incremental rebuild interleaved with foreground I/O) ->
+  /// power torn once the NVRAM rebuild checkpoint passes
+  /// rebuild_cut_fraction -> restore -> resume from the checkpoint (without
+  /// re-reconstructing completed chunks) -> recover the cache -> finish the
+  /// rebuild -> verify integrity, then flush + clean scrub.
+  TortureReport run_rebuild_case(std::uint64_t seed);
 
   const TortureConfig& config() const { return config_; }
 

@@ -26,6 +26,8 @@ struct KddMetrics {
   obs::Counter delta_fallbacks;
   obs::Counter groups_healed;
   obs::Counter recoveries;
+  obs::Counter degraded_cache_hits;   ///< lost pages served from cache
+  obs::Counter degraded_delta_folds;  ///< fold-then-retry degraded recoveries
   obs::Histogram destage_batch_groups;  ///< groups per committed destage batch
 };
 
@@ -37,6 +39,10 @@ KddMetrics& kdd_metrics() {
     km->delta_fallbacks = obs::Counter(&reg, "kdd_delta_fallbacks_total");
     km->groups_healed = obs::Counter(&reg, "kdd_groups_healed_total");
     km->recoveries = obs::Counter(&reg, "kdd_recoveries_total");
+    km->degraded_cache_hits =
+        obs::Counter(&reg, "kdd_degraded_cache_hits_total");
+    km->degraded_delta_folds =
+        obs::Counter(&reg, "kdd_degraded_delta_folds_total");
     km->destage_batch_groups =
         obs::Histogram(&reg, "kdd_destage_batch_groups");
     return km;
@@ -77,6 +83,60 @@ KddCache::KddCache(const PolicyConfig& config, RaidArray* array, SsdModel* ssd,
     ghost_ = std::make_unique<GhostLru>(sets_.pages());
   }
   if (do_recover) recover();
+}
+
+KddCache::~KddCache() {
+  // The engine outlives the cache in crash/recovery rigs; drop the hooks that
+  // point into this instance.
+  if (rebuild_) {
+    rebuild_->set_stripe_barrier(nullptr);
+    rebuild_->set_checkpoint_sink(nullptr);
+  }
+}
+
+void KddCache::bind_rebuild_engine(RebuildEngine* engine) {
+  KDD_CHECK(engine == nullptr || raid_.real());
+  rebuild_ = engine;
+  if (engine == nullptr) return;
+  engine->set_stripe_barrier([this](GroupId begin, GroupId end) {
+    return destage_range(begin, end, nullptr);
+  });
+  engine->set_checkpoint_sink([this](const RebuildCheckpoint& cp) {
+    nvram_->rebuild_disk = cp.disk;
+    nvram_->rebuild_cursor = cp.cursor;
+    nvram_->rebuild_active = cp.active;
+  });
+}
+
+bool KddCache::handle_disk_failure_online(std::uint32_t disk) {
+  KDD_CHECK(raid_.real());
+  KDD_CHECK(rebuild_ != nullptr);
+  const obs::TraceContextScope trace(obs::Stage::kRecovery, /*always_sample=*/true);
+  KDD_LOG(Info, "disk %u failed: degraded mode, online rebuild", disk);
+  return rebuild_->on_disk_failure(disk);
+}
+
+bool KddCache::destage_range(GroupId begin, GroupId end, IoPlan* plan) {
+  std::vector<GroupId> in_range;
+  for (const auto& [g, n] : dirty_groups_) {
+    if (g >= begin && g < end) in_range.push_back(g);
+  }
+  bool all_clear = true;
+  for (const GroupId g : in_range) {
+    if (!dirty_groups_.contains(g)) continue;  // cleaned by an earlier fold
+    if (claimed_groups_.contains(g)) {
+      // In-flight destage claim (cleaner pool): the claim owner will fold it;
+      // tell the engine to retry this window on the next pump.
+      all_clear = false;
+      continue;
+    }
+    if (!clean_group(g, plan)) all_clear = false;
+  }
+  return all_clear;
+}
+
+bool KddCache::page_down(Lba lba) {
+  return raid_.real() && raid_.array()->page_down(lba);
 }
 
 bool KddCache::admit(Lba lba) {
@@ -437,6 +497,10 @@ void KddCache::heal_group(GroupId g, IoPlan* plan) {
 IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   const obs::TraceContextScope trace;  // request root span + ambient context
   ++op_counter_;
+  if (rebuild_) {
+    rebuild_->note_foreground();
+    if (rebuild_->health() != ArrayHealth::kHealthy) rebuild_->pump(plan);
+  }
   const std::uint32_t set = set_for(lba);
   std::uint32_t idx;
   {
@@ -445,6 +509,13 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   }
   if (idx != CacheSets::kNone) {
     ++stats_.read_hits;
+    if (page_down(lba)) {
+      // The page's member is failed or not yet past the rebuild cursor, but
+      // its newest version is cache-resident (data, or DAZ base + delta):
+      // the degraded read never touches the array.
+      ++degraded_cache_hits_;
+      kdd_metrics().degraded_cache_hits.inc();
+    }
     CacheSets::CacheSlot& slot = sets_.slot(idx);
     if (slot.state == PageState::kClean) {
       sets_.lru_touch(idx);
@@ -481,7 +552,22 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
     return IoStatus::kOk;
   }
   ++stats_.read_misses;
-  const IoStatus st = raid_.read_page(lba, out, plan);
+  IoStatus st = raid_.read_page(lba, out, plan);
+  if (st != IoStatus::kOk && page_down(lba)) {
+    // Degraded miss in a stale group: the array refuses to reconstruct a
+    // lost member from stale parity (it would fabricate old data). Fold the
+    // group's pending deltas — parity becomes current — and retry the
+    // reconstructing read.
+    const GroupId g = raid_.layout().group_of(lba);
+    if (dirty_groups_.contains(g) && !claimed_groups_.contains(g)) {
+      clean_group(g, plan);
+      st = raid_.read_page(lba, out, plan);
+      if (st == IoStatus::kOk) {
+        ++degraded_delta_folds_;
+        kdd_metrics().degraded_delta_folds.inc();
+      }
+    }
+  }
   if (st != IoStatus::kOk) return st;
   if (!admit(lba)) return IoStatus::kOk;  // LARC: first touch stays ghost-only
   const std::uint32_t slot = alloc_daz_slot(set, plan);
@@ -499,9 +585,33 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   return IoStatus::kOk;
 }
 
+IoStatus KddCache::degraded_write_page(Lba lba, std::span<const std::uint8_t> data,
+                                       IoPlan* plan) {
+  IoStatus st = raid_.write_page(lba, data, plan);
+  if (st != IoStatus::kOk) {
+    // The array refuses to launder a lost member of a stale group through
+    // reconstruction. Fold the group's pending deltas — parity becomes
+    // current, reconstruction becomes safe — and retry.
+    const GroupId g = raid_.layout().group_of(lba);
+    if (dirty_groups_.contains(g) && !claimed_groups_.contains(g)) {
+      clean_group(g, plan);
+      st = raid_.write_page(lba, data, plan);
+      if (st == IoStatus::kOk) {
+        ++degraded_delta_folds_;
+        kdd_metrics().degraded_delta_folds.inc();
+      }
+    }
+  }
+  return st;
+}
+
 IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) {
   const obs::TraceContextScope trace;  // request root span + ambient context
   ++op_counter_;
+  if (rebuild_) {
+    rebuild_->note_foreground();
+    if (rebuild_->health() != ArrayHealth::kHealthy) rebuild_->pump(plan);
+  }
   const std::uint32_t set = set_for(lba);
   std::uint32_t idx;
   {
@@ -510,9 +620,10 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   }
 
   if (idx == CacheSets::kNone) {
-    // Write miss: conventional parity update, then admit into DAZ.
+    // Write miss: conventional parity update (degraded-capable: folds the
+    // group's deltas and retries when the array refuses), then admit.
     ++stats_.write_misses;
-    const IoStatus st = raid_.write_page(lba, data, plan);
+    const IoStatus st = degraded_write_page(lba, data, plan);
     if (st != IoStatus::kOk) return st;
     if (!admit(lba)) return IoStatus::kOk;
     const std::uint32_t slot = alloc_daz_slot(set, plan);
@@ -536,9 +647,21 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
 
   if (slot.state == PageState::kClean) {
     if (!info.ok) {
-      // DAZ copy unreadable: rewrite it with the new contents (which also
-      // heals a latent sector error) and keep parity maintenance synchronous.
+      // DAZ copy unreadable: write through first, then rewrite the cache
+      // copy with the new contents (which also heals a latent sector error).
+      // Array-before-cache order matters: a degraded write may fold this
+      // group's deltas, and the fold must not see a cache copy that is ahead
+      // of the member's disk contents (it would bake the unwritten update
+      // into parity, which the array write would then re-apply).
       note_media_fallback("daz base unreadable on clean write hit");
+      const IoStatus st = degraded_write_page(lba, data, plan);
+      if (st != IoStatus::kOk) {
+        // Unreadable copy, array rejected the write: retire the slot.
+        ssd_.trim_data(idx);
+        sets_.reset_slot(idx);
+        on_evict_slot(idx);
+        return st;
+      }
       if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
           IoStatus::kOk) {
         sets_.lru_touch(idx);
@@ -547,12 +670,16 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
         sets_.reset_slot(idx);
         on_evict_slot(idx);
       }
-      return raid_.write_page(lba, data, plan);
+      return IoStatus::kOk;
     }
     if (info.packed > kPageSize) {
-      // Incompressible delta: no benefit in deferring — stay write-through.
+      // Incompressible delta: no benefit in deferring — stay write-through
+      // (degraded-capable: folds the group and retries when the array
+      // refuses). Array first, cache refresh second — see above.
       ++delta_fallbacks_;
-  kdd_metrics().delta_fallbacks.inc();
+      kdd_metrics().delta_fallbacks.inc();
+      const IoStatus st = degraded_write_page(lba, data, plan);
+      if (st != IoStatus::kOk) return st;  // cache still matches the disk
       if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
           IoStatus::kOk) {
         sets_.lru_touch(idx);
@@ -562,10 +689,29 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
         sets_.reset_slot(idx);
         on_evict_slot(idx);
       }
-      return raid_.write_page(lba, data, plan);
+      return IoStatus::kOk;
     }
     const IoStatus st = raid_.write_page_nopar(lba, data, plan);
-    if (st != IoStatus::kOk) return st;
+    if (st != IoStatus::kOk) {
+      if (!page_down(lba)) return st;
+      // The page's member is down (failed disk / ahead of the rebuild
+      // cursor): the nopar fast path would strand the new data on a lost
+      // disk. Write through conventionally — the array reconstructs around
+      // the lost member — and refresh the clean DAZ copy so degraded reads
+      // keep hitting the cache.
+      const IoStatus wst = degraded_write_page(lba, data, plan);
+      if (wst != IoStatus::kOk) return wst;
+      if (ssd_.write_data(idx, SsdWriteKind::kWriteUpdate, data, plan) ==
+          IoStatus::kOk) {
+        sets_.lru_touch(idx);
+      } else {
+        note_media_fallback("degraded write-through rewrite failed");
+        ssd_.trim_data(idx);
+        sets_.reset_slot(idx);
+        on_evict_slot(idx);
+      }
+      return IoStatus::kOk;
+    }
     sets_.set_state(idx, PageState::kOld);
     note_old_transition(idx);
     stage_delta(lba, idx, std::move(info), plan);
@@ -580,7 +726,7 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
     // the newest data), then write conventionally and re-admit clean.
     note_media_fallback("daz base unreadable on old write hit");
     heal_group(raid_.layout().group_of(lba), plan);
-    const IoStatus st = raid_.write_page(lba, data, plan);
+    const IoStatus st = degraded_write_page(lba, data, plan);
     if (st != IoStatus::kOk) return st;
     const std::uint32_t ns = alloc_daz_slot(set, plan);
     if (ns == CacheSets::kNone) return IoStatus::kOk;
@@ -598,7 +744,47 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   // compute_delta() diffs against the DAZ copy, so `info` is exactly the
   // delta the stale parity needs — the previous delta is superseded.
   const IoStatus st = raid_.write_page_nopar(lba, data, plan);
-  if (st != IoStatus::kOk) return st;
+  if (st != IoStatus::kOk) {
+    if (!page_down(lba)) return st;
+    // Old page on a down member. Fold the group's deltas first (the old
+    // page's previous version is still encoded in the stale parity), then
+    // write through conventionally and re-admit the newest version.
+    const GroupId g = raid_.layout().group_of(lba);
+    if (dirty_groups_.contains(g) && !claimed_groups_.contains(g)) {
+      clean_group(g, plan);
+      ++degraded_delta_folds_;
+      kdd_metrics().degraded_delta_folds.inc();
+    }
+    const IoStatus wst = degraded_write_page(lba, data, plan);
+    if (wst != IoStatus::kOk) return wst;
+    // clean_group either reclaimed the slot as clean (scheme 1) or dropped
+    // it (scheme 2); refresh what survives, else admit fresh.
+    const std::uint32_t cur = sets_.find_data(set, lba);
+    if (cur != CacheSets::kNone) {
+      if (ssd_.write_data(cur, SsdWriteKind::kWriteUpdate, data, plan) ==
+          IoStatus::kOk) {
+        sets_.lru_touch(cur);
+      } else {
+        note_media_fallback("degraded write-through rewrite failed");
+        ssd_.trim_data(cur);
+        sets_.reset_slot(cur);
+        on_evict_slot(cur);
+      }
+      return IoStatus::kOk;
+    }
+    const std::uint32_t ns = alloc_daz_slot(set, plan);
+    if (ns == CacheSets::kNone) return IoStatus::kOk;
+    if (ssd_.write_data(ns, SsdWriteKind::kWriteAlloc, data, plan) !=
+        IoStatus::kOk) {
+      ssd_.trim_data(ns);
+      sets_.reset_slot(ns);
+      return IoStatus::kOk;
+    }
+    sets_.slot(ns).lba = lba;
+    sets_.set_state(ns, PageState::kClean);
+    add_map_entry(ns, plan);
+    return IoStatus::kOk;
+  }
   if (info.packed > kPageSize) {
     ++delta_fallbacks_;
   kdd_metrics().delta_fallbacks.inc();
@@ -1171,6 +1357,11 @@ void KddCache::on_idle(IoPlan* plan) {
   // instead of recording every pass wholesale.
   const obs::TraceContextScope trace(obs::Stage::kClean);
   clean_all(plan);
+  // A quiet array is the cheapest time to make rebuild progress: one full
+  // unthrottled chunk per idle event.
+  if (rebuild_ && rebuild_->health() != ArrayHealth::kHealthy) {
+    rebuild_->pump(plan, /*urgent=*/true);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1386,11 +1577,16 @@ void KddCache::recover() {
     std::unordered_set<GroupId> bad_groups;
     for (std::uint32_t i = 0; i < sets_.pages(); ++i) {
       const CacheSets::CacheSlot& s = sets_.slot(i);
+      // When the page's member is down (crash landed mid-rebuild), the array
+      // cannot produce the truth — the cache copy IS the authority for that
+      // page. The checksummed SSD read stands in as the audit: a torn DAZ or
+      // delta write surfaces as a device-level read failure.
       if (s.state == PageState::kClean) {
-        const bool good =
-            ssd_.read_data(i, daz, nullptr) == IoStatus::kOk &&
-            raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk &&
-            std::equal(daz.begin(), daz.end(), truth.begin());
+        bool good = ssd_.read_data(i, daz, nullptr) == IoStatus::kOk;
+        if (good && !page_down(s.lba)) {
+          good = raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk &&
+                 std::equal(daz.begin(), daz.end(), truth.begin());
+        }
         if (!good) {
           note_media_fallback("clean page failed torn-page audit");
           ssd_.trim_data(i);
@@ -1400,11 +1596,13 @@ void KddCache::recover() {
       } else if (s.state == PageState::kOld) {
         Delta d;
         bool good = ssd_.read_data(i, daz, nullptr) == IoStatus::kOk &&
-                    load_delta(s, d, nullptr) &&
-                    raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk;
-        if (good) {
-          const Page current = apply_delta(daz, d);
-          good = std::equal(current.begin(), current.end(), truth.begin());
+                    load_delta(s, d, nullptr);
+        if (good && !page_down(s.lba)) {
+          good = raid_.read_page(s.lba, truth, nullptr) == IoStatus::kOk;
+          if (good) {
+            const Page current = apply_delta(daz, d);
+            good = std::equal(current.begin(), current.end(), truth.begin());
+          }
         }
         if (!good) bad_groups.insert(raid_.layout().group_of(s.lba));
       }

@@ -17,7 +17,17 @@ ParityLogRaid::ParityLogRaid(RaidArray* array, std::uint64_t log_pages,
   KDD_CHECK(log_pages > 0);
   KDD_CHECK(apply_threshold_ > 0.0 && apply_threshold_ <= 1.0);
   pending_.reserve(log_pages);
+  // Auto-drain on rebuild: reconstructing a disk from parity that is missing
+  // logged updates silently corrupts every affected stripe, so the array
+  // calls back here before any rebuild touches the media.
+  array_->set_pre_rebuild_hook([this](std::uint32_t) {
+    apply_log();
+    // A rebuild with images still pending would reconstruct from a stale log.
+    KDD_CHECK(pending_.empty());
+  });
 }
+
+ParityLogRaid::~ParityLogRaid() { array_->set_pre_rebuild_hook(nullptr); }
 
 IoStatus ParityLogRaid::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   // A degraded read reconstructs through parity, which must be current.

@@ -26,9 +26,14 @@ class ParityLogRaid {
  public:
   /// Wraps `array` (not owned) and adds a dedicated log disk of
   /// `log_pages` pages. `apply_threshold` is the fill fraction that triggers
-  /// the batched parity apply.
+  /// the batched parity apply. Registers itself as the array's pre-rebuild
+  /// hook so any rebuild (stop-the-world or online) drains the log first.
   ParityLogRaid(RaidArray* array, std::uint64_t log_pages,
                 double apply_threshold = 0.9);
+  ~ParityLogRaid();
+
+  ParityLogRaid(const ParityLogRaid&) = delete;
+  ParityLogRaid& operator=(const ParityLogRaid&) = delete;
 
   /// Read passthrough (degraded reads require the log to be applied first —
   /// handled internally).
@@ -41,7 +46,8 @@ class ParityLogRaid {
                       IoPlan* plan = nullptr);
 
   /// Folds every logged image into its parity block. Called automatically at
-  /// the apply threshold; call manually before failing/rebuilding disks.
+  /// the apply threshold and — via the array's pre-rebuild hook — before any
+  /// disk rebuild, so callers no longer need to remember to drain it.
   std::uint64_t apply_log(IoPlan* plan = nullptr);
 
   std::uint64_t log_used_pages() const { return log_used_; }

@@ -4,11 +4,30 @@
 
 #include "common/check.hpp"
 #include "common/page_arena.hpp"
+#include "obs/metrics.hpp"
 #include "raid/gf256.hpp"
 
 namespace kdd {
 
 namespace {
+
+struct RaidMetrics {
+  obs::Counter degraded_reads;
+  obs::Counter rebuild_groups;
+  obs::Counter rebuild_stale_folds;
+};
+
+RaidMetrics& raid_metrics() {
+  static RaidMetrics* m = [] {
+    auto* rm = new RaidMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    rm->degraded_reads = obs::Counter(&reg, "kdd_degraded_reads_total");
+    rm->rebuild_groups = obs::Counter(&reg, "kdd_rebuild_groups_total");
+    rm->rebuild_stale_folds = obs::Counter(&reg, "kdd_rebuild_stale_folds_total");
+    return rm;
+  }();
+  return *m;
+}
 
 // Solves for two lost data members i, j of a RAID-6 group given the partial
 // sums P' = P ^ sum(known D_k) and Q' = Q ^ sum(g^k D_k):
@@ -73,11 +92,11 @@ bool RaidArray::group_has_failed_member(GroupId g) const {
   const RaidGeometry& geo = layout_.geometry();
   const std::uint64_t row = g / geo.chunk_pages;
   for (std::uint32_t idx = 0; idx < geo.data_disks(); ++idx) {
-    if (disks_[layout_.data_disk(row, idx)]->failed()) return true;
+    if (member_down(layout_.data_disk(row, idx), g)) return true;
   }
   if (geo.level != RaidLevel::kRaid0) {
-    if (disks_[layout_.parity_disk(row)]->failed()) return true;
-    if (geo.level == RaidLevel::kRaid6 && disks_[layout_.q_parity_disk(row)]->failed()) {
+    if (member_down(layout_.parity_disk(row), g)) return true;
+    if (geo.level == RaidLevel::kRaid6 && member_down(layout_.q_parity_disk(row), g)) {
       return true;
     }
   }
@@ -86,7 +105,8 @@ bool RaidArray::group_has_failed_member(GroupId g) const {
 
 IoStatus RaidArray::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   const DiskAddr addr = layout_.map(lba);
-  if (!disks_[addr.disk]->failed()) {
+  const GroupId g = layout_.group_of(lba);
+  if (!member_down(addr.disk, g)) {
     if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kRead});
     const IoStatus st = dev_read(addr.disk, addr.page, out, plan);
     if (st == IoStatus::kOk) return st;
@@ -97,14 +117,20 @@ IoStatus RaidArray::read_page(Lba lba, std::span<std::uint8_t> out, IoPlan* plan
     // Whole-device failure surfaced mid-read: fall through to degraded path.
   }
   // Degraded read: reconstruct from the surviving members of the group.
-  const GroupId g = layout_.group_of(lba);
+  // A stale group's parity cannot vouch for lost data — reconstructing from
+  // it would fabricate plausible-but-wrong contents. Fail cleanly; the cache
+  // layer folds the pending deltas and retries (delta + surviving-stripe
+  // reconstruction).
+  if (stale_groups_.contains(g)) return IoStatus::kFailed;
+  ++degraded_reads_;
+  raid_metrics().degraded_reads.inc();
   if (plan) {
     const std::size_t phase = plan->next_phase();
     const RaidGeometry& geo = layout_.geometry();
     const std::uint64_t row = g / geo.chunk_pages;
     const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
     for (std::uint32_t d = 0; d < geo.num_disks; ++d) {
-      if (!disks_[d]->failed()) {
+      if (!member_down(d, g)) {
         plan->add(phase, {DeviceOp::Target::kHdd, d, page, IoKind::kRead});
       }
     }
@@ -126,7 +152,7 @@ IoStatus RaidArray::read_repair(Lba lba, std::span<std::uint8_t> out, IoPlan* pl
     const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
     for (std::uint32_t d = 0; d < geo.num_disks; ++d) {
       const DiskAddr addr = layout_.map(lba);
-      if (d != addr.disk && !disks_[d]->failed()) {
+      if (d != addr.disk && !member_down(d, g)) {
         plan->add(phase, {DeviceOp::Target::kHdd, d, page, IoKind::kRead});
       }
     }
@@ -161,7 +187,7 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
   for (std::uint32_t k = 0; k < dd; ++k) {
     if (k == idx) continue;
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
-    if (disks_[a.disk]->failed()) {
+    if (member_down(a.disk, g)) {
       lost_data.push_back(k);
       continue;
     }
@@ -175,9 +201,9 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
     if (geo.level == RaidLevel::kRaid6) gf256::mul_acc(q_prime, gf256::exp(k), buf);
   }
   const DiskAddr pa = layout_.parity_addr(g);
-  const bool p_alive = !disks_[pa.disk]->failed();
+  const bool p_alive = !member_down(pa.disk, g);
   const bool q_alive = geo.level == RaidLevel::kRaid6 &&
-                       !disks_[layout_.q_parity_addr(g).disk]->failed();
+                       !member_down(layout_.q_parity_addr(g).disk, g);
 
   if (lost_data.empty()) {
     // Single data erasure.
@@ -310,6 +336,13 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
   const std::uint32_t dd = geo.data_disks();
   const std::uint32_t target = layout_.index_in_group(lba);
 
+  // A general write collapses parity to the XOR of the group's current
+  // on-disk contents and erases the stale marker. On a stale group that
+  // silently folds every delta the cache still counts as pending — a later
+  // cache-side fold would then apply them a second time and skew parity.
+  // Refuse instead: the cache folds its deltas first and retries.
+  if (stale_groups_.contains(g)) return IoStatus::kFailed;
+
   ScratchPages members_sp(dd);
   std::vector<Page>& members = members_sp.vec();
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
@@ -317,7 +350,7 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
     if (k == target) continue;
     const Lba member_lba = layout_.group_member(g, k);
     const DiskAddr a = layout_.map(member_lba);
-    if (!disks_[a.disk]->failed()) {
+    if (!member_down(a.disk, g)) {
       const IoStatus st = dev_read(a.disk, a.page, members[k], plan);
       if (st == IoStatus::kOk) {
         if (plan) plan->add(read_phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kRead});
@@ -326,6 +359,11 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
       if (!page_fault(st)) return IoStatus::kFailed;
       // Fall through: reconstruct the faulty member like a lost one.
     }
+    // Reconstructing a lost member of a *stale* group would fold fabricated
+    // contents into the freshly computed parity and then erase the staleness
+    // marker — laundering corruption. Refuse; the cache folds its deltas
+    // first and retries.
+    if (stale_groups_.contains(g)) return IoStatus::kFailed;
     if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) {
       return IoStatus::kFailed;
     }
@@ -340,18 +378,18 @@ IoStatus RaidArray::write_page_general(Lba lba, std::span<const std::uint8_t> da
 
   const std::size_t write_phase = plan ? plan->next_phase() : 0;
   const DiskAddr addr = layout_.map(lba);
-  if (!disks_[addr.disk]->failed()) {
+  if (!member_down(addr.disk, g)) {
     if (dev_write(addr.disk, addr.page, data, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
   }
   const DiskAddr pa = layout_.parity_addr(g);
-  if (!disks_[pa.disk]->failed()) {
+  if (!member_down(pa.disk, g)) {
     if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
-    if (!disks_[qa.disk]->failed()) {
+    if (!member_down(qa.disk, g)) {
       if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
     }
@@ -374,19 +412,19 @@ IoStatus RaidArray::write_group(GroupId g, std::span<const Page> data, IoPlan* p
   const std::size_t phase = plan ? plan->next_phase() : 0;
   for (std::uint32_t k = 0; k < data.size(); ++k) {
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
-    if (disks_[a.disk]->failed()) continue;
+    if (member_down(a.disk, g)) continue;
     if (dev_write(a.disk, a.page, data[k], plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(phase, {DeviceOp::Target::kHdd, a.disk, a.page, IoKind::kWrite});
   }
   if (geo.level != RaidLevel::kRaid0) {
     const DiskAddr pa = layout_.parity_addr(g);
-    if (!disks_[pa.disk]->failed()) {
+    if (!member_down(pa.disk, g)) {
       if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
     }
     if (geo.level == RaidLevel::kRaid6) {
       const DiskAddr qa = layout_.q_parity_addr(g);
-      if (!disks_[qa.disk]->failed()) {
+      if (!member_down(qa.disk, g)) {
         if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
         if (plan) plan->add(phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
       }
@@ -401,13 +439,15 @@ IoStatus RaidArray::write_page_nopar(Lba lba, std::span<const std::uint8_t> data
   const RaidGeometry& geo = layout_.geometry();
   KDD_CHECK(geo.level != RaidLevel::kRaid0);
   const DiskAddr addr = layout_.map(lba);
-  if (disks_[addr.disk]->failed()) {
-    // The caller must flush parity and rebuild before deferring again.
+  const GroupId g = layout_.group_of(lba);
+  if (member_down(addr.disk, g)) {
+    // Deferring parity is only safe when the data write itself lands; the
+    // caller falls back to a conventional (degraded-capable) write.
     return IoStatus::kFailed;
   }
   if (dev_write(addr.disk, addr.page, data, plan) != IoStatus::kOk) return IoStatus::kFailed;
   if (plan) plan->add(plan->next_phase(), {DeviceOp::Target::kHdd, addr.disk, addr.page, IoKind::kWrite});
-  stale_groups_.insert(layout_.group_of(lba));
+  stale_groups_.insert(g);
   return IoStatus::kOk;
 }
 
@@ -418,7 +458,7 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
   const DiskAddr pa = layout_.parity_addr(g);
   const std::size_t read_phase = plan ? plan->next_phase() : 0;
   std::size_t write_phase = read_phase + 1;
-  if (!disks_[pa.disk]->failed()) {
+  if (!member_down(pa.disk, g)) {
     ScratchPage p_sp;
     Page& p = *p_sp;
     // A page fault on the stale parity read is surfaced to the caller
@@ -436,7 +476,7 @@ IoStatus RaidArray::update_parity_rmw(GroupId g, std::span<const GroupDelta> del
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
-    if (!disks_[qa.disk]->failed()) {
+    if (!member_down(qa.disk, g)) {
       ScratchPage q_sp;
       Page& q = *q_sp;
       const IoStatus rq = dev_read(qa.disk, qa.page, q, plan);
@@ -485,7 +525,12 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
       continue;
     }
     const DiskAddr a = layout_.map(layout_.group_member(g, k));
-    if (disks_[a.disk]->failed()) {
+    if (member_down(a.disk, g)) {
+      // Same fabrication guard as write_page_general: a lost member of a
+      // stale group cannot be reconstructed from the stale parity. The
+      // caller must supply the member's current contents (cache-resident
+      // image) or fold its deltas first.
+      if (stale_groups_.contains(g)) return IoStatus::kFailed;
       if (reconstruct_data(g, k, members[k]) != IoStatus::kOk) return IoStatus::kFailed;
     } else {
       const IoStatus st = dev_read(a.disk, a.page, members[k], plan);
@@ -513,13 +558,13 @@ IoStatus RaidArray::update_parity_reconstruct(GroupId g,
 
   const std::size_t write_phase = plan ? (any_read ? plan->next_phase() : read_phase) : 0;
   const DiskAddr pa = layout_.parity_addr(g);
-  if (!disks_[pa.disk]->failed()) {
+  if (!member_down(pa.disk, g)) {
     if (dev_write(pa.disk, pa.page, p, plan) != IoStatus::kOk) return IoStatus::kFailed;
     if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, pa.disk, pa.page, IoKind::kWrite});
   }
   if (geo.level == RaidLevel::kRaid6) {
     const DiskAddr qa = layout_.q_parity_addr(g);
-    if (!disks_[qa.disk]->failed()) {
+    if (!member_down(qa.disk, g)) {
       if (dev_write(qa.disk, qa.page, q, plan) != IoStatus::kOk) return IoStatus::kFailed;
       if (plan) plan->add(write_phase, {DeviceOp::Target::kHdd, qa.disk, qa.page, IoKind::kWrite});
     }
@@ -553,6 +598,12 @@ std::vector<GroupId> RaidArray::stale_groups() const {
 void RaidArray::fail_disk(std::uint32_t d) {
   KDD_CHECK(d < disks_.size());
   disks_[d]->fail();
+  if (d == rebuilding_disk_) {
+    // The replacement disk itself died mid-rebuild: abandon the cursor; a
+    // fresh spare restarts the rebuild from group 0.
+    rebuilding_disk_ = kNoRebuild;
+    rebuild_cursor_ = 0;
+  }
 }
 
 std::uint32_t RaidArray::failed_disk_count() const {
@@ -563,91 +614,182 @@ std::uint32_t RaidArray::failed_disk_count() const {
   return n;
 }
 
-std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
+void RaidArray::rebuild_begin(std::uint32_t d) {
   const RaidGeometry& geo = layout_.geometry();
   KDD_CHECK(geo.level != RaidLevel::kRaid0);
   KDD_CHECK(d < disks_.size());
   KDD_CHECK(disks_[d]->failed());
+  KDD_CHECK(!rebuild_active());
+  // Drain deferred parity state held outside the array (parity log) while the
+  // disk is still marked failed — a rebuild against a stale log would
+  // reconstruct from parity that is missing logged updates.
+  if (pre_rebuild_hook_) pre_rebuild_hook_(d);
   media_[d]->replace();
   // The media behind the decorator was swapped: stale checksums and latent
   // sector errors belong to the old platters.
   disks_[d]->clear_faults();
   last_rebuild_lost_.clear();
+  rebuilding_disk_ = d;
+  rebuild_cursor_ = 0;
+  rebuild_stale_folds_ = 0;
+}
 
-  std::uint64_t stale_rebuilds = 0;
-  for (GroupId g = 0; g < geo.num_groups(); ++g) {
-    const std::uint64_t row = g / geo.chunk_pages;
-    const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
-    if (layout_.parity_disk(row) == d ||
-        (geo.level == RaidLevel::kRaid6 && layout_.q_parity_disk(row) == d)) {
-      // Parity page: recompute from data — result reflects current data, so
-      // any pending staleness is resolved for this group (P case).
-      const bool is_q = layout_.parity_disk(row) != d;
-      ScratchPages members_sp(geo.data_disks());
-      std::vector<Page>& members = members_sp.vec();
-      bool ok = true;
-      for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
-        const DiskAddr a = layout_.map(layout_.group_member(g, k));
-        if (dev_read(a.disk, a.page, members[k]) != IoStatus::kOk) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) {
-        // Double fault: this group's parity cannot be rebuilt now. Mark the
-        // page unreadable so scrubs/reads see a clean error, and report it.
-        last_rebuild_lost_.push_back(g);
-        disks_[d]->inject_media_error(page);
-        continue;
-      }
-      ScratchPage p_sp;
-      ScratchPage q_sp;
-      Page& p = *p_sp;
-      Page& q = *q_sp;
-      compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
-      dev_write(d, page, is_q ? q : p);
-      if (!is_q) stale_groups_.erase(g);
-      continue;
-    }
-    // Data page: reconstruct from the surviving members + parity. If the
-    // group's parity is stale the reconstructed contents are wrong — this is
-    // the vulnerability window the paper describes; callers (KDD) flush
-    // parity before rebuilding.
-    std::uint32_t idx = 0;
-    bool found = false;
+void RaidArray::rebuild_resume(std::uint32_t d, GroupId cursor) {
+  const RaidGeometry& geo = layout_.geometry();
+  KDD_CHECK(geo.level != RaidLevel::kRaid0);
+  KDD_CHECK(d < disks_.size());
+  KDD_CHECK(!disks_[d]->failed());  // media already replaced by the interrupted run
+  KDD_CHECK(!rebuild_active());
+  KDD_CHECK(cursor <= geo.num_groups());
+  if (pre_rebuild_hook_) pre_rebuild_hook_(d);
+  last_rebuild_lost_.clear();
+  rebuilding_disk_ = d;
+  rebuild_cursor_ = cursor;
+  rebuild_stale_folds_ = 0;
+}
+
+void RaidArray::rebuild_finish() {
+  KDD_CHECK(rebuild_active());
+  KDD_CHECK(rebuild_cursor_ >= layout_.geometry().num_groups());
+  rebuilding_disk_ = kNoRebuild;
+  rebuild_cursor_ = 0;
+}
+
+void RaidArray::rebuild_abandon() {
+  rebuilding_disk_ = kNoRebuild;
+  rebuild_cursor_ = 0;
+}
+
+bool RaidArray::rebuild_group(GroupId g, IoPlan* plan) {
+  const RaidGeometry& geo = layout_.geometry();
+  const std::uint32_t d = rebuilding_disk_;
+  const std::uint64_t row = g / geo.chunk_pages;
+  const Lba page = row * geo.chunk_pages + g % geo.chunk_pages;
+  const bool was_stale = stale_groups_.contains(g);
+  if (layout_.parity_disk(row) == d ||
+      (geo.level == RaidLevel::kRaid6 && layout_.q_parity_disk(row) == d)) {
+    // Parity page: recompute from data — result reflects current data, so
+    // any pending staleness is resolved for this group (P case).
+    const bool is_q = layout_.parity_disk(row) != d;
+    ScratchPages members_sp(geo.data_disks());
+    std::vector<Page>& members = members_sp.vec();
+    bool ok = true;
     for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
-      if (layout_.data_disk(row, k) == d) {
-        idx = k;
-        found = true;
+      const DiskAddr a = layout_.map(layout_.group_member(g, k));
+      if (dev_read(a.disk, a.page, members[k], plan) != IoStatus::kOk) {
+        ok = false;
         break;
       }
     }
-    KDD_CHECK(found);
-    if (stale_groups_.contains(g)) ++stale_rebuilds;
-    ScratchPage buf;
-    if (reconstruct_data(g, idx, *buf) == IoStatus::kOk) {
-      dev_write(d, page, *buf);
-    } else {
-      // Double fault (e.g. a latent sector error on a survivor): exactly this
-      // stripe is lost. Reads of the page will fail cleanly — and if the
-      // survivor's fault later heals, a read-repair can still recover it.
+    if (!ok) {
+      if (!disks_[d]->powered()) return false;  // power cut, not data loss
+      // Double fault: this group's parity cannot be rebuilt now. Mark the
+      // page unreadable so scrubs/reads see a clean error, and report it.
       last_rebuild_lost_.push_back(g);
       disks_[d]->inject_media_error(page);
+      return true;
+    }
+    ScratchPage p_sp;
+    ScratchPage q_sp;
+    Page& p = *p_sp;
+    Page& q = *q_sp;
+    compute_parity(members, p, geo.level == RaidLevel::kRaid6 ? &q : nullptr);
+    if (dev_write(d, page, is_q ? q : p, plan) != IoStatus::kOk &&
+        !disks_[d]->powered()) {
+      return false;
+    }
+    // Recomputing parity from current data RESOLVES any pending staleness
+    // for the P case — it is not a stale fold (no data was fabricated).
+    if (!is_q) stale_groups_.erase(g);
+    return true;
+  }
+  // Data page: reconstruct from the surviving members + parity. If the
+  // group's parity is stale the reconstructed contents are wrong — this is
+  // the vulnerability window the paper describes; the online engine's
+  // force-destage barrier (and KDD's pre-rebuild flush) keeps this zero.
+  std::uint32_t idx = 0;
+  bool found = false;
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    if (layout_.data_disk(row, k) == d) {
+      idx = k;
+      found = true;
+      break;
     }
   }
-  return stale_rebuilds;
+  KDD_CHECK(found);
+  ScratchPage buf;
+  if (reconstruct_data(g, idx, *buf) == IoStatus::kOk) {
+    if (dev_write(d, page, *buf, plan) != IoStatus::kOk && !disks_[d]->powered()) {
+      return false;
+    }
+  } else {
+    if (!disks_[d]->powered()) return false;  // power cut, not data loss
+    // Double fault (e.g. a latent sector error on a survivor): exactly this
+    // stripe is lost. Reads of the page will fail cleanly — and if the
+    // survivor's fault later heals, a read-repair can still recover it.
+    last_rebuild_lost_.push_back(g);
+    disks_[d]->inject_media_error(page);
+  }
+  if (was_stale) {
+    ++rebuild_stale_folds_;
+    raid_metrics().rebuild_stale_folds.inc();
+  }
+  return true;
+}
+
+std::uint64_t RaidArray::rebuild_step(std::uint64_t max_groups, IoPlan* plan) {
+  KDD_CHECK(rebuild_active());
+  const RaidGeometry& geo = layout_.geometry();
+  const GroupId end =
+      std::min<GroupId>(geo.num_groups(), rebuild_cursor_ + max_groups);
+  std::uint64_t done = 0;
+  while (rebuild_cursor_ < end) {
+    if (!disks_[rebuilding_disk_]->powered()) break;
+    if (!rebuild_group(rebuild_cursor_, plan)) break;
+    ++rebuild_cursor_;
+    ++done;
+  }
+  if (done != 0) raid_metrics().rebuild_groups.inc(done);
+  return done;
+}
+
+std::uint64_t RaidArray::rebuild_disk(std::uint32_t d) {
+  // Stop-the-world flavour, reimplemented on the incremental engine: one
+  // begin, one maximal step, one finish. Return value and double-fault
+  // semantics are unchanged.
+  rebuild_begin(d);
+  const std::uint64_t total = layout_.geometry().num_groups();
+  while (rebuild_cursor_ < total) {
+    if (rebuild_step(total) == 0) break;  // only a power cut stops progress
+  }
+  const std::uint64_t stale_folds = rebuild_stale_folds_;
+  if (rebuild_cursor_ >= total) {
+    rebuild_finish();
+  }
+  // else: the rail dropped mid-rebuild; the cursor stays parked for
+  // rebuild_resume after power restore.
+  return stale_folds;
 }
 
 std::vector<GroupId> RaidArray::scrub() const {
+  return scrub_range(0, layout_.geometry().num_groups());
+}
+
+std::vector<GroupId> RaidArray::scrub_range(GroupId begin, GroupId end) const {
   const RaidGeometry& geo = layout_.geometry();
   KDD_CHECK(geo.level != RaidLevel::kRaid0);
   KDD_CHECK(failed_disk_count() == 0);
+  // A rebuilding disk's region beyond the cursor is garbage by definition;
+  // comparing raw media there would flag every group. Scrub resumes once the
+  // rebuild completes (the scheduler pauses itself while degraded).
+  KDD_CHECK(!rebuild_active());
+  end = std::min<GroupId>(end, geo.num_groups());
   std::vector<GroupId> bad;
   ScratchPage p_sp(ScratchPage::kZeroed);
   ScratchPage q_sp(ScratchPage::kZeroed);
   Page& p = *p_sp;
   Page& q = *q_sp;
-  for (GroupId g = 0; g < geo.num_groups(); ++g) {
+  for (GroupId g = begin; g < end; ++g) {
     p.assign(kPageSize, 0);
     q.assign(kPageSize, 0);
     for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
@@ -779,9 +921,15 @@ bool RaidArray::repair_group(GroupId g) {
 }
 
 std::uint64_t RaidArray::scrub_and_repair() {
-  const std::vector<GroupId> bad = scrub();
+  return scrub_and_repair_range(0, layout_.geometry().num_groups());
+}
+
+std::uint64_t RaidArray::scrub_and_repair_range(GroupId begin, GroupId end,
+                                                bool skip_stale) {
+  const std::vector<GroupId> bad = scrub_range(begin, end);
   std::uint64_t repaired = 0;
   for (const GroupId g : bad) {
+    if (skip_stale && stale_groups_.contains(g)) continue;
     if (repair_group(g)) ++repaired;
   }
   return repaired;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -114,6 +115,85 @@ class RaidArray {
   bool disk_failed(std::uint32_t disk) const { return disks_[disk]->failed(); }
   std::uint32_t failed_disk_count() const;
 
+  /// True when `disk` cannot serve group `g`: either the device failed
+  /// outright, or it is mid-(online-)rebuild and `g` lies at or after the
+  /// rebuild cursor. Groups below the cursor are already reconstructed and
+  /// fully valid, so a rebuilding disk serves them normally — this predicate
+  /// is what makes the rebuild incremental rather than stop-the-world.
+  bool member_down(std::uint32_t disk, GroupId g) const {
+    if (disks_[disk]->failed()) return true;
+    return disk == rebuilding_disk_ && g >= rebuild_cursor_;
+  }
+  /// member_down() for the disk holding logical page `lba`.
+  bool page_down(Lba lba) const {
+    return member_down(layout_.map(lba).disk, layout_.group_of(lba));
+  }
+  /// Any member unavailable anywhere: a failed disk or an in-flight rebuild.
+  bool degraded() const { return failed_disk_count() > 0 || rebuild_active(); }
+
+  /// False while any member's power rail is down. Background machinery (the
+  /// rebuild pump, the scrub scheduler) stops cleanly on this instead of
+  /// misreading power-cut rejections as media loss.
+  bool powered() const {
+    for (const auto& d : disks_) {
+      if (!d->powered()) return false;
+    }
+    return true;
+  }
+
+  // ---- Online (incremental, checkpointed) rebuild ---------------------------
+
+  static constexpr std::uint32_t kNoRebuild = ~0u;
+
+  /// Starts an incremental rebuild of failed `disk`: drains the registered
+  /// pre-rebuild hook (parity log), swaps in blank media, clears the old
+  /// platters' fault state and parks the cursor at group 0. Until
+  /// rebuild_finish() the disk serves only groups below the cursor; every
+  /// other path treats it as a failed member (member_down).
+  void rebuild_begin(std::uint32_t disk);
+
+  /// Resumes a checkpointed rebuild after a controller restart: the media was
+  /// already replaced by the interrupted rebuild, groups below `cursor` are
+  /// valid and are NOT reconstructed again.
+  void rebuild_resume(std::uint32_t disk, GroupId cursor);
+
+  /// Reconstructs up to `max_groups` groups at the cursor and advances it.
+  /// Returns the number of groups processed (0 == nothing left or the power
+  /// rail dropped mid-step; a power cut never marks stripes lost — the
+  /// checkpointed cursor simply resumes after restore). Double faults behave
+  /// exactly as in rebuild_disk(): the group is recorded in
+  /// last_rebuild_lost() and its page marked unreadable.
+  std::uint64_t rebuild_step(std::uint64_t max_groups, IoPlan* plan = nullptr);
+
+  /// Completes the rebuild; requires the cursor to have reached the end.
+  void rebuild_finish();
+
+  /// Abandons an in-flight rebuild without touching the media (models a
+  /// controller reboot losing its in-core cursor). The disk reverts to
+  /// serving nothing valid beyond what a subsequent rebuild_resume() — fed
+  /// from an NVRAM checkpoint — vouches for.
+  void rebuild_abandon();
+
+  bool rebuild_active() const { return rebuilding_disk_ != kNoRebuild; }
+  GroupId rebuild_cursor() const { return rebuild_cursor_; }
+  std::uint32_t rebuilding_disk() const { return rebuilding_disk_; }
+  /// Groups (since rebuild_begin/resume) reconstructed from *stale* parity —
+  /// the vulnerability window; the online engine's force-destage barrier
+  /// exists to keep this zero.
+  std::uint64_t rebuild_stale_folds() const { return rebuild_stale_folds_; }
+
+  /// Hook invoked with the disk id before any rebuild touches the array
+  /// (rebuild_begin / rebuild_disk). ParityLogRaid registers its apply_log
+  /// here, so a rebuild can never run against a stale parity log.
+  void set_pre_rebuild_hook(std::function<void(std::uint32_t)> hook) {
+    pre_rebuild_hook_ = std::move(hook);
+  }
+
+  /// Reads served via degraded reconstruction (failed member or a rebuilding
+  /// disk's not-yet-reconstructed region). Mirrored to
+  /// kdd_degraded_reads_total in the global metrics registry.
+  std::uint64_t degraded_reads() const { return degraded_reads_; }
+
   /// Replaces the failed disk with a blank one and reconstructs its contents
   /// from the surviving disks. Returns the number of parity groups whose
   /// contents were rebuilt from *stale* parity (i.e. potentially corrupted —
@@ -137,6 +217,17 @@ class RaidArray {
   /// inconsistent groups. With no deferred updates pending this must be empty;
   /// with deferred updates it must equal the stale set.
   std::vector<GroupId> scrub() const;
+
+  /// Incremental scrub over groups [begin, end) — the unit the background
+  /// scrub scheduler (src/raid/scrub.hpp) rate-limits.
+  std::vector<GroupId> scrub_range(GroupId begin, GroupId end) const;
+
+  /// Scrubs and repairs groups in [begin, end). With `skip_stale` the known
+  /// stale (deferred-parity) groups are left alone — they are owned by the
+  /// cache, which will fold their deltas; resyncing them here would erase the
+  /// staleness marker underneath pending deltas and corrupt the later fold.
+  std::uint64_t scrub_and_repair_range(GroupId begin, GroupId end,
+                                       bool skip_stale = false);
 
   /// Scrubs and repairs every inconsistent group. Repair is located, not
   /// blind: stale groups resync from data (the KDD deferred-parity contract);
@@ -190,6 +281,9 @@ class RaidArray {
   IoStatus write_page_general(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan);
   void compute_parity(std::span<const Page> data, Page& p, Page* q) const;
   bool group_has_failed_member(GroupId g) const;
+  /// Reconstructs one group onto the rebuilding disk. Returns false only when
+  /// the step was aborted by a power cut (cursor must not advance).
+  bool rebuild_group(GroupId g, IoPlan* plan);
 
   RaidLayout layout_;
   std::vector<std::unique_ptr<MemBlockDevice>> media_;          ///< raw disks
@@ -197,6 +291,11 @@ class RaidArray {
   std::unordered_set<GroupId> stale_groups_;
   std::vector<GroupId> last_rebuild_lost_;
   RetryPolicy retry_policy_;
+  std::function<void(std::uint32_t)> pre_rebuild_hook_;
+  std::uint32_t rebuilding_disk_ = kNoRebuild;
+  GroupId rebuild_cursor_ = 0;
+  std::uint64_t rebuild_stale_folds_ = 0;
+  std::uint64_t degraded_reads_ = 0;
   std::uint64_t read_repairs_ = 0;
 };
 

@@ -1,0 +1,154 @@
+// Online rebuild + degraded-mode engine (ISSUE 6 tentpole).
+//
+// Drives RaidArray's incremental rebuild cursor (rebuild_begin/step/finish)
+// as a background activity interleaved with foreground I/O:
+//
+//   * a degraded-mode state machine — healthy -> degraded -> rebuilding ->
+//     healthy — with per-state dwell accounting (measured in foreground ops;
+//     the counter/prototype modes have no wall clock),
+//   * a hot-spare pool gating the degraded -> rebuilding transition,
+//   * adaptive throttling: the engine only steps after a minimum number of
+//     foreground ops have elapsed, and shrinks its chunk under foreground
+//     pressure so rebuild progress never starves the workload (and a
+//     quiet array lets it run at full chunk via urgent pumps),
+//   * a stripe barrier hook: before reconstructing [begin, end) the engine
+//     asks the cache to force-destage every dirty parity group in that
+//     window (delta-fold ahead of the cursor) — the KDD-specific
+//     correctness rule that keeps rebuild_stale_folds() at zero,
+//   * a checkpoint sink: every cursor advance is published so the caller can
+//     persist it in NVRAM; after a crash, resume() continues from the
+//     checkpoint instead of re-reconstructing completed chunks.
+//
+// Progress, state, dwell times and spare inventory are exported through the
+// global metrics registry (kdd_rebuild_progress, kdd_array_state,
+// kdd_dwell_*_ops_total, kdd_spares_available — see docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "raid/raid_array.hpp"
+
+namespace kdd {
+
+enum class ArrayHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,    ///< a member is lost and no rebuild is running
+  kRebuilding = 2,  ///< online rebuild in flight
+};
+
+/// Inventory of standby replacement disks. take() gates the
+/// degraded -> rebuilding transition; an exhausted pool parks the array in
+/// degraded mode until add() restocks it (rolling-replacement drills).
+class SparePool {
+ public:
+  explicit SparePool(std::uint32_t count = 0) : available_(count) {}
+  bool take() {
+    if (available_ == 0) return false;
+    --available_;
+    return true;
+  }
+  void add(std::uint32_t n = 1) { available_ += n; }
+  std::uint32_t available() const { return available_; }
+
+ private:
+  std::uint32_t available_;
+};
+
+/// What survives a power failure: which disk was being rebuilt and how far
+/// the cursor got. Persisted via the checkpoint sink (KddCache stores it in
+/// NVRAM); resume() re-arms the array from it.
+struct RebuildCheckpoint {
+  std::uint32_t disk = 0;
+  std::uint64_t cursor = 0;
+  bool active = false;
+};
+
+struct OnlineRebuildConfig {
+  std::uint32_t chunk_groups = 64;      ///< groups per step when unpressured
+  std::uint32_t min_chunk_groups = 4;   ///< floor under maximum pressure
+  std::uint32_t ops_between_steps = 16; ///< foreground ops required between steps
+  /// Foreground ops since the last step at which the chunk reaches its floor
+  /// (linear shrink between ops_between_steps and this).
+  std::uint32_t pressure_window = 256;
+};
+
+class RebuildEngine {
+ public:
+  explicit RebuildEngine(RaidArray* array, OnlineRebuildConfig config = {},
+                         SparePool* spares = nullptr);
+
+  RebuildEngine(const RebuildEngine&) = delete;
+  RebuildEngine& operator=(const RebuildEngine&) = delete;
+
+  ArrayHealth health() const;
+
+  /// Fails `disk` at the array and — if a spare is available — immediately
+  /// begins the online rebuild. Returns true when the rebuild started
+  /// (otherwise the array stays degraded until pump() finds a spare).
+  bool on_disk_failure(std::uint32_t disk);
+
+  /// degraded -> rebuilding: takes a spare and starts rebuilding the first
+  /// failed disk. False when no disk is failed or the pool is empty.
+  bool start_rebuild();
+
+  /// Foreground traffic notification: feeds the throttle and the per-state
+  /// dwell accounting. Call once per cache/array request.
+  void note_foreground(std::uint64_t n = 1);
+
+  /// Runs at most one throttled rebuild step. `urgent` (idle pump) skips the
+  /// throttle and uses the full chunk. Returns groups reconstructed. Never
+  /// reconstructs a window the stripe barrier could not clear — the step is
+  /// deferred and retried on the next pump.
+  std::uint64_t pump(IoPlan* plan = nullptr, bool urgent = false);
+
+  /// Pre-step barrier: return true when every dirty group in [begin, end)
+  /// has been force-destaged / delta-folded. Returning false defers the step.
+  void set_stripe_barrier(std::function<bool(GroupId, GroupId)> barrier) {
+    barrier_ = std::move(barrier);
+  }
+
+  /// Invoked on every checkpoint change (start, cursor advance, completion);
+  /// the sink persists it somewhere that survives power loss.
+  void set_checkpoint_sink(std::function<void(const RebuildCheckpoint&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Re-arms an interrupted rebuild from a persisted checkpoint. Call after
+  /// power restore and BEFORE constructing a recovering cache, so recovery
+  /// reads see the not-yet-rebuilt region as down rather than as garbage.
+  void resume(const RebuildCheckpoint& cp);
+
+  // ---- Introspection --------------------------------------------------------
+
+  bool rebuild_active() const { return array_->rebuild_active(); }
+  /// Cursor position in 1/1000 of the array (1000 == complete/healthy).
+  std::uint64_t progress_permille() const;
+  std::uint64_t rebuilds_completed() const { return rebuilds_completed_; }
+  std::uint64_t groups_rebuilt() const { return groups_rebuilt_; }
+  std::uint64_t barrier_deferrals() const { return barrier_deferrals_; }
+  /// Foreground ops observed while in `state` (dwell time in ops).
+  std::uint64_t dwell_ops(ArrayHealth state) const {
+    return dwell_[static_cast<std::size_t>(state)];
+  }
+  SparePool* spares() const { return spares_; }
+  const OnlineRebuildConfig& config() const { return cfg_; }
+
+ private:
+  std::uint32_t effective_chunk(bool urgent) const;
+  void publish_state() const;
+  void publish_checkpoint() const;
+
+  RaidArray* array_;
+  OnlineRebuildConfig cfg_;
+  SparePool* spares_;  ///< nullptr == unlimited spares
+  std::function<bool(GroupId, GroupId)> barrier_;
+  std::function<void(const RebuildCheckpoint&)> sink_;
+  std::uint64_t ops_since_step_ = 0;
+  std::uint64_t dwell_[3] = {0, 0, 0};
+  std::uint64_t rebuilds_completed_ = 0;
+  std::uint64_t groups_rebuilt_ = 0;
+  std::uint64_t barrier_deferrals_ = 0;
+};
+
+}  // namespace kdd

@@ -57,9 +57,12 @@ TEST(KddDegraded, ReadsServeDegradedReconstruction) {
   }
 }
 
-TEST(KddDegraded, DeferredWriteToFailedDiskIsRejected) {
-  // write_page_nopar cannot place data on a dead disk; the policy surfaces
-  // the failure so the operator runs handle_disk_failure first.
+TEST(KddDegraded, DeferredWriteToFailedDiskWritesThroughDegraded) {
+  // write_page_nopar cannot place data on a dead disk. The degraded-mode
+  // engine no longer surfaces that to the host: the cache falls back to a
+  // conventional degraded write-through (the array reconstructs around the
+  // lost member) and refreshes its copy, so the newest version keeps being
+  // served from the cache while the member is down.
   const RaidGeometry geo = small_geo();
   RaidArray array(geo);
   SsdConfig scfg;
@@ -72,11 +75,16 @@ TEST(KddDegraded, DeferredWriteToFailedDiskIsRejected) {
   const Page v0 = gen.base_page(lba);
   ASSERT_EQ(kdd.write(lba, v0, nullptr), IoStatus::kOk);
   array.fail_disk(array.layout().map(lba).disk);
-  // A compressible update would defer parity via write_page_nopar => must be
-  // refused while the disk is down. (An incompressible update takes the
-  // full-parity fallback, which handles degraded mode.)
+  // A compressible update would defer parity via write_page_nopar; with the
+  // member down it is written through with full parity instead — never
+  // stranded on the lost disk, never rejected.
   const Page v1 = gen.mutate(v0, 0.2, rng);
-  EXPECT_EQ(kdd.write(lba, v1, nullptr), IoStatus::kFailed);
+  EXPECT_EQ(kdd.write(lba, v1, nullptr), IoStatus::kOk);
+  EXPECT_EQ(kdd.stale_groups(), 0u);  // no deferred parity on a lost member
+  Page buf = make_page();
+  ASSERT_EQ(kdd.read(lba, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, v1);
+  EXPECT_GE(kdd.degraded_cache_hits(), 1u);
 }
 
 TEST(KddPressure, TinyCacheStaysCorrectUnderHeavyChurn) {

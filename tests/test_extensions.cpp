@@ -254,8 +254,10 @@ TEST(ConcurrentCache, BackgroundCleanerRunsWhileIdle) {
     cache.write(lba, {});
   }
   EXPECT_GT(kdd.stale_groups(), 0u);
-  // Go idle and let the cleaner thread catch up.
-  for (int spin = 0; spin < 200 && cache.cleaner_passes() == 0; ++spin) {
+  // Go idle and let the cleaner thread catch up. The budget is generous (a
+  // loaded CI machine can starve the cleaner thread for a long time); the
+  // loop exits on the first pass, so the common case stays at a few ms.
+  for (int spin = 0; spin < 5000 && cache.cleaner_passes() == 0; ++spin) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   EXPECT_GT(cache.cleaner_passes(), 0u);

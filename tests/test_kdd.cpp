@@ -4,6 +4,7 @@
 
 #include "compress/content.hpp"
 #include "harness/harness.hpp"
+#include "raid/rebuild.hpp"
 #include "test_util.hpp"
 #include "trace/zipf_workload.hpp"
 
@@ -479,6 +480,127 @@ TEST(KddFailure, EveryDiskPositionIsRebuildable) {
     EXPECT_EQ(rig.kdd->handle_disk_failure(disk), 0u) << "disk " << disk;
     rig.verify_reads();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded service through the cache (ISSUE 6): a lost member's newest
+// version can live only in the cache (DAZ base + delta) while the array's
+// parity is still stale — the cache must serve it without ever consulting
+// (or trusting) the degraded array.
+// ---------------------------------------------------------------------------
+
+/// Crawl-speed engine: the group under test stays un-rebuilt (member down)
+/// for as long as the test needs it to be.
+OnlineRebuildConfig crawl_rebuild() {
+  OnlineRebuildConfig cfg;
+  cfg.chunk_groups = 1;
+  cfg.min_chunk_groups = 1;
+  cfg.ops_between_steps = 1024;
+  return cfg;
+}
+
+TEST(KddDegraded, ReadOfLostPageServedFromCachedDelta) {
+  RaidArray array(small_geo());
+  SsdModel ssd(small_ssd());
+  NvramState nvram(kPageSize, 255);
+  RebuildEngine engine(&array, crawl_rebuild());
+  KddCache kdd(small_config(), &array, &ssd, &nvram);
+  kdd.bind_rebuild_engine(&engine);
+
+  // A page well past the initial cursor, written twice: the second write is a
+  // deferred-parity hit, so the member disk holds v2 but parity still covers
+  // v1 — the newest version is only reachable as DAZ base + cached delta.
+  const GroupId g = 40;
+  const Lba lba = array.layout().group_member(g, 0);
+  const std::uint32_t disk = array.layout().map(lba).disk;
+  const ContentGenerator gen(51);
+  Rng rng(52);
+  const Page v1 = gen.base_page(lba);
+  ASSERT_EQ(kdd.write(lba, v1, nullptr), IoStatus::kOk);
+  Page buf = make_page();
+  ASSERT_EQ(kdd.read(lba, buf, nullptr), IoStatus::kOk);
+  const Page v2 = gen.mutate(v1, 0.25, rng);
+  ASSERT_EQ(kdd.write(lba, v2, nullptr), IoStatus::kOk);
+  ASSERT_EQ(kdd.old_pages(), 1u);
+  ASSERT_GE(kdd.stale_groups(), 1u);
+
+  // The member fails online. No stop-the-world flush: the delta stays staged
+  // and the group is still dirty when the degraded read arrives.
+  ASSERT_TRUE(kdd.handle_disk_failure_online(disk));
+  ASSERT_TRUE(array.member_down(disk, g));
+  const std::uint64_t raid_reads_before = array.total_disk_reads();
+  ASSERT_EQ(kdd.read(lba, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, v2);
+  EXPECT_EQ(kdd.degraded_cache_hits(), 1u);
+  // Cache-resident service: the degraded read never touched the array.
+  EXPECT_EQ(array.total_disk_reads(), raid_reads_before);
+
+  // Finish the rebuild; the barrier folds the delta first, so no group is
+  // ever reconstructed from stale parity, and the data survives end to end.
+  int guard = 0;
+  while (engine.rebuild_active()) {
+    ASSERT_LT(++guard, 10000);
+    kdd.on_idle(nullptr);
+  }
+  EXPECT_EQ(array.rebuild_stale_folds(), 0u);
+  ASSERT_EQ(kdd.read(lba, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, v2);
+  kdd.flush(nullptr);
+  EXPECT_TRUE(array.scrub().empty());
+}
+
+TEST(KddDegraded, MissOnLostPageFoldsPeerDeltaThenReconstructs) {
+  RaidArray array(small_geo());
+  SsdModel ssd(small_ssd());
+  NvramState nvram(kPageSize, 255);
+  RebuildEngine engine(&array, crawl_rebuild());
+  KddCache kdd(small_config(), &array, &ssd, &nvram);
+  kdd.bind_rebuild_engine(&engine);
+
+  // Cold victim page, written straight to the array; a PEER in the same
+  // stripe then takes a deferred-parity write, leaving the group stale.
+  const GroupId g = 40;
+  const Lba victim = array.layout().group_member(g, 0);
+  const Lba peer = array.layout().group_member(g, 1);
+  const Page vdata = test_page(victim, 7);
+  ASSERT_EQ(array.write_page(victim, vdata), IoStatus::kOk);
+  const ContentGenerator gen(53);
+  Rng rng(54);
+  const Page p1 = gen.base_page(peer);
+  ASSERT_EQ(kdd.write(peer, p1, nullptr), IoStatus::kOk);
+  Page buf = make_page();
+  ASSERT_EQ(kdd.read(peer, buf, nullptr), IoStatus::kOk);
+  const Page p2 = gen.mutate(p1, 0.25, rng);
+  ASSERT_EQ(kdd.write(peer, p2, nullptr), IoStatus::kOk);
+  ASSERT_EQ(kdd.old_pages(), 1u);
+  ASSERT_TRUE(array.group_stale(g));
+
+  // Lose the victim's disk. A read of the victim is a cache miss in a stale
+  // group: the array must refuse to reconstruct from stale parity (it would
+  // fabricate the pre-delta peer into the result); the cache folds the
+  // group's deltas and retries — and the retry must yield the real data.
+  const std::uint32_t disk = array.layout().map(victim).disk;
+  ASSERT_TRUE(kdd.handle_disk_failure_online(disk));
+  ASSERT_TRUE(array.member_down(disk, g));
+  ASSERT_EQ(kdd.read(victim, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, vdata);
+  EXPECT_EQ(kdd.degraded_delta_folds(), 1u);
+  EXPECT_FALSE(array.group_stale(g));
+
+  // The peer's newest version survived the fold, and the rebuilt array is
+  // fully consistent.
+  ASSERT_EQ(kdd.read(peer, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, p2);
+  int guard = 0;
+  while (engine.rebuild_active()) {
+    ASSERT_LT(++guard, 10000);
+    kdd.on_idle(nullptr);
+  }
+  EXPECT_EQ(array.rebuild_stale_folds(), 0u);
+  ASSERT_EQ(kdd.read(victim, buf, nullptr), IoStatus::kOk);
+  EXPECT_EQ(buf, vdata);
+  kdd.flush(nullptr);
+  EXPECT_TRUE(array.scrub().empty());
 }
 
 }  // namespace

@@ -446,6 +446,60 @@ TEST(RaidFaults, RebuildDoubleFaultReportsExactLostStripes) {
   }
 }
 
+TEST(RaidFaults, DoubleFaultOnSurvivorMidRebuildLosesOnlyThatStripe) {
+  const RaidGeometry geo = geo5();
+  RaidArray array(geo);
+  ReferenceModel model;
+  for (Lba lba = 0; lba < array.data_pages(); ++lba) {
+    const Page data = test_page(lba);
+    ASSERT_EQ(array.write_page(lba, data), IoStatus::kOk);
+    model.write(lba, data);
+  }
+
+  // Incremental (online) rebuild: lose disk 2, reconstruct the first chunks,
+  // THEN a survivor dies under a not-yet-rebuilt stripe — the mid-rebuild
+  // double fault. Only that one stripe may be reported lost.
+  const std::uint32_t failed = 2;
+  array.fail_disk(failed);
+  array.rebuild_begin(failed);
+  ASSERT_EQ(array.rebuild_step(8), 8u);  // cursor now at group 8
+
+  std::uint64_t row = 8 / geo.chunk_pages;  // first un-rebuilt row
+  while (array.layout().parity_disk(row) == failed) ++row;
+  const GroupId g = row * geo.chunk_pages;
+  ASSERT_GE(g, array.rebuild_cursor());
+  std::uint32_t failed_idx = geo.data_disks();
+  for (std::uint32_t k = 0; k < geo.data_disks(); ++k) {
+    if (array.layout().data_disk(row, k) == failed) failed_idx = k;
+  }
+  ASSERT_LT(failed_idx, geo.data_disks());
+  const std::uint32_t survivor_idx = failed_idx == 0 ? 1 : 0;
+  const Lba survivor_lba = array.layout().group_member(g, survivor_idx);
+  const Lba lost_lba = array.layout().group_member(g, failed_idx);
+  const DiskAddr s = array.layout().map(survivor_lba);
+  array.faults(s.disk).inject_media_error(s.page);
+
+  while (array.rebuild_step(16) != 0) {
+  }
+  array.rebuild_finish();
+  EXPECT_FALSE(array.degraded());
+
+  // Exactly the sabotaged stripe is lost — groups already past the cursor and
+  // every healthy stripe after it came through intact.
+  ASSERT_EQ(array.last_rebuild_lost().size(), 1u);
+  EXPECT_EQ(array.last_rebuild_lost().front(), g);
+
+  // Both unreconstructable members fail cleanly — no fabricated bytes.
+  Page buf = make_page();
+  EXPECT_NE(array.read_page(lost_lba, buf), IoStatus::kOk);
+  EXPECT_NE(array.read_page(survivor_lba, buf), IoStatus::kOk);
+  for (Lba lba = 0; lba < array.data_pages(); ++lba) {
+    if (lba == lost_lba || lba == survivor_lba) continue;
+    ASSERT_EQ(array.read_page(lba, buf), IoStatus::kOk) << "lba " << lba;
+    ASSERT_EQ(buf, model.read(lba)) << "lba " << lba;
+  }
+}
+
 TEST(RaidFaults, Raid6RebuildAbsorbsSurvivorMediaError) {
   const RaidGeometry geo = geo6();
   RaidArray array(geo);
