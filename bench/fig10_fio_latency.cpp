@@ -50,5 +50,35 @@ int main() {
   }
   table.print();
   std::printf("\n(mean response time in ms, 16 threads; paper: KDD -42..-43%% vs Nossd)\n");
+
+  // Queue-depth sweep: the closed-loop thread count IS the outstanding
+  // request count, so sweeping it to 256 shows how response time degrades as
+  // the array saturates (admission control in the prototype engine bounds
+  // the same quantity). Fixed 50 % read rate, Nossd vs KDD.
+  TextTable qd_table({"QD", "Nossd ms", "KDD ms", "KDD vs Nossd"});
+  for (const unsigned qd : {16u, 64u, 256u}) {
+    double nossd_ms = 0, kdd_ms = 0;
+    for (const PolicyKind kind : {PolicyKind::kNossd, PolicyKind::kKdd}) {
+      PolicyConfig cfg;
+      cfg.ssd_pages = cache_pages;
+      cfg.delta_ratio_mean = 0.25;
+      auto policy = make_policy(kind, cfg, geo);
+      EventSimulator sim(paper_sim_config(geo.num_disks), policy.get());
+      ZipfWorkloadConfig wcfg;
+      wcfg.working_set_pages = wss_pages;
+      wcfg.total_requests = total_requests;
+      wcfg.read_rate = 0.50;
+      wcfg.array_pages = geo.data_pages();
+      ZipfWorkload workload(wcfg);
+      const double ms = sim.run_closed_loop(workload, qd).mean_response_ms();
+      if (kind == PolicyKind::kNossd) nossd_ms = ms;
+      if (kind == PolicyKind::kKdd) kdd_ms = ms;
+    }
+    qd_table.add_row({std::to_string(qd), TextTable::num(nossd_ms, 2),
+                      TextTable::num(kdd_ms, 2),
+                      "-" + bench::pct(1.0 - kdd_ms / nossd_ms)});
+  }
+  std::printf("\nQueue-depth sweep (50%% reads, closed loop):\n");
+  qd_table.print();
   return 0;
 }

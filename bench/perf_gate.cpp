@@ -224,13 +224,17 @@ PoolReplay measure_pool_replay() {
 }
 
 /// Thread-scaling matrix for BENCH_micro.json: replay throughput at 1/2/4/8
-/// submitter threads, each with the serial idle cleaner (pool = 0) and with
-/// a cleaner pool sized to the submitter count. Single run per point (the
-/// matrix is a trajectory record, not a gate) at a smaller scale than the
-/// gated pool measurement.
+/// submitter threads. Sync rows (qd = 0) run the blocking front door, each
+/// with the serial idle cleaner (pool = 0) and with a cleaner pool sized to
+/// the submitter count. Async rows run the submission-queue engine (workers
+/// = submitters) at queue depth 64 and 256. The 8-thread/QD-256 async row
+/// gates against the 1-thread/QD-256 row on hosts with >= 8 hardware
+/// threads (elsewhere it is recorded like pool_replay); the rest of the
+/// matrix is a trajectory record.
 struct ScalePoint {
   unsigned threads;
   std::uint32_t pool;
+  unsigned qd;  ///< 0 = sync call-and-block path
   double kops;
 };
 std::vector<ScalePoint> measure_concurrent_scaling() {
@@ -240,22 +244,44 @@ std::vector<ScalePoint> measure_concurrent_scaling() {
   const RaidGeometry geo = paper_geometry(tcfg.unique_total());
   const std::uint64_t array_pages = geo.data_pages();
   std::vector<ScalePoint> out;
+  const auto make_cache = [&](std::uint32_t pool, auto&& body) {
+    RaidArray array(geo);
+    SsdConfig scfg;
+    scfg.logical_pages = 4096;
+    SsdModel ssd(scfg);
+    PolicyConfig cfg;
+    cfg.ssd_pages = scfg.logical_pages;
+    KddCache kdd(cfg, &array, &ssd);
+    ConcurrentCache cache(&kdd, &array.layout(), std::chrono::milliseconds(2),
+                          pool);
+    body(cache, array);
+  };
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     for (const std::uint32_t pool : {0u, threads}) {
-      RaidArray array(geo);
-      SsdConfig scfg;
-      scfg.logical_pages = 4096;
-      SsdModel ssd(scfg);
-      PolicyConfig cfg;
-      cfg.ssd_pages = scfg.logical_pages;
-      KddCache kdd(cfg, &array, &ssd);
-      ConcurrentCache cache(&kdd, &array.layout(), std::chrono::milliseconds(2),
-                            pool);
-      const double t0 = now_ns();
-      const ConcurrentReplayResult r = run_concurrent_trace(
-          cache, array.layout(), trace, array_pages, threads, /*seed=*/7);
-      const double ms = (now_ns() - t0) / 1e6;
-      out.push_back({threads, pool, static_cast<double>(r.ops) / ms});
+      make_cache(pool, [&](ConcurrentCache& cache, RaidArray& array) {
+        const double t0 = now_ns();
+        const ConcurrentReplayResult r = run_concurrent_trace(
+            cache, array.layout(), trace, array_pages, threads, /*seed=*/7);
+        const double ms = (now_ns() - t0) / 1e6;
+        out.push_back({threads, pool, 0u, static_cast<double>(r.ops) / ms});
+      });
+    }
+  }
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    for (const unsigned qd : {64u, 256u}) {
+      make_cache(0, [&](ConcurrentCache& cache, RaidArray& array) {
+        AsyncEngineOptions aopts;
+        aopts.workers = threads;
+        aopts.shard_queue_depth = qd;
+        aopts.high_watermark = 4ull * threads * qd;
+        aopts.low_watermark = 2ull * threads * qd;
+        cache.start_async(aopts);
+        const double t0 = now_ns();
+        const ConcurrentReplayResult r = run_concurrent_trace_async(
+            cache, array.layout(), trace, array_pages, threads, /*seed=*/7, qd);
+        const double ms = (now_ns() - t0) / 1e6;
+        out.push_back({threads, 0u, qd, static_cast<double>(r.ops) / ms});
+      });
     }
   }
   return out;
@@ -496,25 +522,48 @@ int run(int argc, char** argv) {
               pool.off_ms, pool.on_ms, pool.speedup, pool.hw_threads,
               pool.gates ? "active: need >= 1.50x" : "skipped: < 4 cores");
 
-  // Thread-scaling trajectory (recorded, never gated).
+  // Thread-scaling matrix: sync rows recorded, the async 8-thread/QD-256
+  // row gated against 1-thread/QD-256 on >= 8-hw-thread hosts.
   const std::vector<ScalePoint> scaling = measure_concurrent_scaling();
-  std::printf("\nconcurrent replay scaling (threads/pool -> kops/s):");
+  std::printf("\nconcurrent replay scaling (threads/pool|qd -> kops/s):");
   for (const ScalePoint& p : scaling) {
-    std::printf(" %u/%u=%.1f", p.threads, p.pool, p.kops);
+    if (p.qd == 0) {
+      std::printf(" %u/%u=%.1f", p.threads, p.pool, p.kops);
+    } else {
+      std::printf(" %uq%u=%.1f", p.threads, p.qd, p.kops);
+    }
   }
   std::printf("\n");
+  double async_1t_kops = 0.0;
+  double async_8t_kops = 0.0;
+  for (const ScalePoint& p : scaling) {
+    if (p.qd == 256 && p.threads == 1) async_1t_kops = p.kops;
+    if (p.qd == 256 && p.threads == 8) async_8t_kops = p.kops;
+  }
+  const double scaling_speedup =
+      async_1t_kops > 0 ? async_8t_kops / async_1t_kops : 0.0;
+  const bool scaling_gates = std::thread::hardware_concurrency() >= 8;
+  std::printf("async scaling QD=256: 1 thread %.1f kops/s, 8 threads %.1f "
+              "kops/s, speedup %.2fx (%s)\n",
+              async_1t_kops, async_8t_kops, scaling_speedup,
+              scaling_gates ? "gate active: need >= 3.00x"
+                            : "recorded, not gated: < 8 cores");
 
   const bool pass = mul_speedup >= 3.0 && roundtrip_improvement >= 0.30 &&
                     obs_overhead <= 0.05 && destage_speedup >= 2.0 &&
-                    (!pool.gates || pool.speedup >= 1.5);
+                    (!pool.gates || pool.speedup >= 1.5) &&
+                    (!scaling_gates || scaling_speedup >= 3.0);
   std::printf("\ngate: gf256_mul_acc speedup %.2fx (need >= 3.00x), "
               "delta_roundtrip %.1f%% fewer ns/op (need >= 30.0%%), "
               "telemetry overhead %.1f%% (need <= 5.0%%), "
               "destage batch speedup %.2fx (need >= 2.00x), "
-              "pool replay speedup %.2fx (%s) -> %s\n",
+              "pool replay speedup %.2fx (%s), "
+              "concurrent scaling %.2fx (%s) -> %s\n",
               mul_speedup, roundtrip_improvement * 100.0,
               obs_overhead * 100.0, destage_speedup, pool.speedup,
               pool.gates ? "need >= 1.50x" : "recorded, not gated",
+              scaling_speedup,
+              scaling_gates ? "need >= 3.00x" : "recorded, not gated",
               pass ? "PASS" : "FAIL");
 
   if (FILE* f = std::fopen(json_path.c_str(), "w")) {
@@ -530,10 +579,19 @@ int run(int argc, char** argv) {
     std::fprintf(f, "  \"benchmarks\": {\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
+      // No seed baseline (before_ns == 0) means "speedup" is undefined, not
+      // zero — emit null so downstream tooling can't mistake it for a 0.00x
+      // regression.
+      char speedup_field[32];
+      if (r.before_ns > 0) {
+        std::snprintf(speedup_field, sizeof speedup_field, "%.2f", r.speedup);
+      } else {
+        std::snprintf(speedup_field, sizeof speedup_field, "null");
+      }
       std::fprintf(f,
                    "    \"%s\": {\"before_ns\": %.0f, \"after_ns\": %.1f, "
-                   "\"speedup\": %.2f, \"gib_per_s\": %.2f}%s\n",
-                   r.name, r.before_ns, r.after_ns, r.speedup, r.gibps,
+                   "\"speedup\": %s, \"gib_per_s\": %.2f}%s\n",
+                   r.name, r.before_ns, r.after_ns, speedup_field, r.gibps,
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  },\n");
@@ -552,9 +610,10 @@ int run(int argc, char** argv) {
       const ScalePoint& p = scaling[i];
       std::fprintf(f,
                    "    {\"threads\": %u, \"cleaner_pool\": %u, "
+                   "\"queue_depth\": %u, \"mode\": \"%s\", "
                    "\"kops_per_s\": %.1f}%s\n",
-                   p.threads, p.pool, p.kops,
-                   i + 1 < scaling.size() ? "," : "");
+                   p.threads, p.pool, p.qd, p.qd == 0 ? "sync" : "async",
+                   p.kops, i + 1 < scaling.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
@@ -563,14 +622,18 @@ int run(int argc, char** argv) {
                  "\"telemetry_max_overhead\": 0.05, "
                  "\"destage_batch_min_speedup\": 2.0, "
                  "\"pool_replay_min_speedup\": 1.5, "
+                 "\"concurrent_scaling_min_speedup\": 3.0, "
                  "\"gf256_mul_acc_speedup\": %.2f, "
                  "\"delta_roundtrip_improvement\": %.3f, "
                  "\"telemetry_overhead\": %.4f, "
                  "\"destage_batch_speedup\": %.2f, "
                  "\"pool_replay_speedup\": %.2f, "
-                 "\"pool_replay_gated\": %s, \"pass\": %s}\n",
+                 "\"pool_replay_gated\": %s, "
+                 "\"concurrent_scaling_speedup\": %.2f, "
+                 "\"concurrent_scaling_gated\": %s, \"pass\": %s}\n",
                  mul_speedup, roundtrip_improvement, obs_overhead,
                  destage_speedup, pool.speedup, pool.gates ? "true" : "false",
+                 scaling_speedup, scaling_gates ? "true" : "false",
                  pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -1,8 +1,10 @@
 #include "harness/harness.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -126,24 +128,23 @@ void fill_replay_page(Lba lba, std::uint64_t version, std::uint64_t seed,
   }
 }
 
-ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
-                                            const RaidLayout& layout,
-                                            const Trace& trace,
-                                            std::uint64_t array_pages,
-                                            unsigned threads, std::uint64_t seed) {
-  KDD_CHECK(array_pages > 0);
-  KDD_CHECK(threads > 0);
-  struct Op {
-    Lba lba = 0;
-    std::uint64_t version = 0;
-    bool is_read = false;
-  };
-  // Partition page requests by owning parity group. Each LBA belongs to
-  // exactly one group and therefore one thread, so per-LBA request order is
-  // trace order regardless of the interleaving across threads. Write
-  // versions are assigned during this single sequential pass, which makes
-  // the payload of every write independent of the thread count.
-  std::vector<std::vector<Op>> shards(threads);
+namespace {
+
+struct ReplayOp {
+  Lba lba = 0;
+  std::uint64_t version = 0;
+  bool is_read = false;
+};
+
+// Partition page requests by owning parity group. Each LBA belongs to
+// exactly one group and therefore one thread, so per-LBA request order is
+// trace order regardless of the interleaving across threads. Write
+// versions are assigned during this single sequential pass, which makes
+// the payload of every write independent of the thread count.
+std::uint64_t partition_replay_ops(const RaidLayout& layout, const Trace& trace,
+                                   std::uint64_t array_pages, unsigned threads,
+                                   std::vector<std::vector<ReplayOp>>& shards) {
+  shards.assign(threads, {});
   std::unordered_map<Lba, std::uint64_t> versions;
   std::uint64_t ops = 0;
   for (const TraceRecord& rec : trace.records) {
@@ -151,7 +152,7 @@ ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
       const Lba lba = (rec.page + i) % array_pages;
       const std::size_t shard =
           static_cast<std::size_t>(layout.group_of(lba) % threads);
-      Op op;
+      ReplayOp op;
       op.lba = lba;
       op.is_read = rec.is_read;
       op.version = rec.is_read ? versions[lba] : ++versions[lba];
@@ -159,6 +160,22 @@ ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
       ++ops;
     }
   }
+  return ops;
+}
+
+}  // namespace
+
+ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
+                                            const RaidLayout& layout,
+                                            const Trace& trace,
+                                            std::uint64_t array_pages,
+                                            unsigned threads, std::uint64_t seed) {
+  KDD_CHECK(array_pages > 0);
+  KDD_CHECK(threads > 0);
+  using Op = ReplayOp;
+  std::vector<std::vector<Op>> shards;
+  const std::uint64_t ops =
+      partition_replay_ops(layout, trace, array_pages, threads, shards);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
@@ -175,6 +192,68 @@ ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
     });
   }
   for (std::thread& w : workers) w.join();
+  cache.flush();
+  ConcurrentReplayResult result;
+  result.stats = cache.stats();
+  result.front = cache.front_stats();
+  result.ops = ops;
+  return result;
+}
+
+ConcurrentReplayResult run_concurrent_trace_async(
+    ConcurrentCache& cache, const RaidLayout& layout, const Trace& trace,
+    std::uint64_t array_pages, unsigned threads, std::uint64_t seed,
+    unsigned queue_depth) {
+  KDD_CHECK(array_pages > 0);
+  KDD_CHECK(threads > 0);
+  KDD_CHECK(queue_depth > 0);
+  KDD_CHECK(cache.async_started());
+  std::vector<std::vector<ReplayOp>> shards;
+  const std::uint64_t ops =
+      partition_replay_ops(layout, trace, array_pages, threads, shards);
+  std::vector<std::thread> submitters;
+  submitters.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    submitters.emplace_back([&cache, &shards, t, seed, queue_depth] {
+      // Bounded slot pool: at most queue_depth requests from this submitter
+      // are outstanding, and read targets stay pinned until completion.
+      // Write payloads are copied by submit_write, but the slot still rides
+      // to completion so the depth bound covers both kinds.
+      std::vector<Page> slots(queue_depth, make_page());
+      std::vector<unsigned> free_slots(queue_depth);
+      for (unsigned i = 0; i < queue_depth; ++i) free_slots[i] = i;
+      std::mutex mu;
+      std::condition_variable cv;
+      unsigned outstanding = 0;
+      for (const ReplayOp& op : shards[t]) {
+        unsigned slot;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return !free_slots.empty(); });
+          slot = free_slots.back();
+          free_slots.pop_back();
+          ++outstanding;
+        }
+        auto done = [&mu, &cv, &free_slots, &outstanding, slot](IoStatus st) {
+          KDD_CHECK(st == IoStatus::kOk);
+          const std::lock_guard<std::mutex> lock(mu);
+          free_slots.push_back(slot);
+          --outstanding;
+          cv.notify_all();
+        };
+        if (op.is_read) {
+          KDD_CHECK(cache.submit_read(op.lba, slots[slot], std::move(done)));
+        } else {
+          fill_replay_page(op.lba, op.version, seed, slots[slot]);
+          KDD_CHECK(cache.submit_write(op.lba, slots[slot], std::move(done)));
+        }
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return outstanding == 0; });
+    });
+  }
+  for (std::thread& w : submitters) w.join();
+  cache.drain_async();
   cache.flush();
   ConcurrentReplayResult result;
   result.stats = cache.stats();

@@ -69,6 +69,15 @@ ConcurrentReplayResult run_concurrent_trace(ConcurrentCache& cache,
                                             std::uint64_t array_pages,
                                             unsigned threads, std::uint64_t seed);
 
+/// Same replay through the async submit/complete path. The cache's engine
+/// must be started (start_async). Each submitter keeps at most `queue_depth`
+/// requests outstanding via a bounded slot pool; per-LBA order still holds
+/// because one submitter owns each parity group and shard queues are FIFO.
+ConcurrentReplayResult run_concurrent_trace_async(
+    ConcurrentCache& cache, const RaidLayout& layout, const Trace& trace,
+    std::uint64_t array_pages, unsigned threads, std::uint64_t seed,
+    unsigned queue_depth);
+
 /// FNV-1a digest of the logical address space [0, array_pages) read back
 /// through the cache — the "byte-identical final state" check for the
 /// multi-threaded replay mode.

@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "compress/delta.hpp"
+#include "kdd/kdd_cache.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
 namespace kdd {
@@ -12,6 +15,28 @@ namespace {
 
 std::chrono::steady_clock::rep now_ticks() {
   return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+/// Global-registry mirrors of the async engine's admission telemetry
+/// (docs/observability.md): outstanding requests, submission-queue wait and
+/// admission rejections. The per-instance AsyncEngineStats counters stay
+/// authoritative for tests; these feed the exporters.
+struct EngineMetrics {
+  obs::Gauge inflight;         ///< kdd_inflight_requests
+  obs::Histogram queue_wait;   ///< kdd_queue_wait_ns
+  obs::Counter rejected;       ///< kdd_admission_rejected_total
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics* m = [] {
+    auto* em = new EngineMetrics();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    em->inflight = obs::Gauge(&reg, "kdd_inflight_requests");
+    em->queue_wait = obs::Histogram(&reg, "kdd_queue_wait_ns");
+    em->rejected = obs::Counter(&reg, "kdd_admission_rejected_total");
+    return em;
+  }();
+  return *m;
 }
 
 }  // namespace
@@ -25,6 +50,7 @@ ConcurrentCache::ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
                                  std::uint32_t cleaner_threads)
     : policy_(policy),
       layout_(layout),
+      spec_(dynamic_cast<SpeculativeWriteSource*>(policy)),
       idle_wakeup_(idle_wakeup),
       last_request_ns_(now_ticks()) {
   KDD_CHECK(policy_ != nullptr);
@@ -48,6 +74,20 @@ ConcurrentCache::ConcurrentCache(CachePolicy* policy, const RaidLayout* layout,
 }
 
 ConcurrentCache::~ConcurrentCache() {
+  // Quiesce the async engine first: reject new submissions, complete every
+  // in-flight request (their callbacks may still reference live client
+  // state), then stop the workers. Only after the front end is quiet do the
+  // cleaner feeder and pool come down.
+  if (!engine_workers_.empty()) {
+    quiesce_submissions();
+    {
+      const std::lock_guard<std::mutex> alock(amu_);
+      engine_stop_ = true;
+    }
+    engine_cv_.notify_all();
+    submit_cv_.notify_all();
+    for (std::thread& t : engine_workers_) t.join();
+  }
   // Stop the feeder first so no new jobs are queued, then the workers.
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -91,6 +131,14 @@ void ConcurrentCache::touch_idle_clock() {
 }
 
 IoStatus ConcurrentCache::read(Lba lba, std::span<std::uint8_t> out) {
+  return exec_read(lba, out);
+}
+
+IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
+  return exec_write(lba, data);
+}
+
+IoStatus ConcurrentCache::exec_read(Lba lba, std::span<std::uint8_t> out) {
   const std::size_t s = stripe_of(lba);
   const std::lock_guard<std::mutex> stripe(stripe_mu_[s]);
   shards_[s].reads.fetch_add(1, std::memory_order_relaxed);
@@ -103,7 +151,7 @@ IoStatus ConcurrentCache::read(Lba lba, std::span<std::uint8_t> out) {
   return st;
 }
 
-IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
+IoStatus ConcurrentCache::exec_write(Lba lba, std::span<const std::uint8_t> data) {
   const std::size_t s = stripe_of(lba);
   const std::lock_guard<std::mutex> stripe(stripe_mu_[s]);
   shards_[s].writes.fetch_add(1, std::memory_order_relaxed);
@@ -111,11 +159,33 @@ IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
   bool kick = false;
   IoStatus st;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    st = policy_->write(lba, data, nullptr);
-    // With the pool active the policy's inline watermark pass is a no-op, so
-    // the write path itself must wake the feeder once deferred work piles up.
-    kick = destage_ != nullptr && !pool_.empty() && destage_->destage_pending();
+    SpeculativeWriteSource::Snapshot snap;
+    thread_local Page spec_base;  // delta base scratch, one page per thread
+    if (spec_ != nullptr && data.size() == kPageSize) {
+      if (spec_base.size() != kPageSize) spec_base.assign(kPageSize, 0);
+      const std::lock_guard<std::mutex> lock(mu_);
+      snap = spec_->write_snapshot(lba, spec_base);
+    }
+    if (snap.valid) {
+      // Write-hit split: the delta compression — the dominant per-request
+      // CPU cost — runs here with only the stripe lock held. The stripe lock
+      // excludes every same-parity-group request, so the snapshot can only
+      // be perturbed by cross-stripe activity, which write_prepared detects
+      // (and then recomputes inline).
+      SpeculativeWriteSource::PreparedDelta pd;
+      make_delta_into(spec_base, data, pd.blob);
+      pd.packed = static_cast<std::uint32_t>(pd.blob.packed_size());
+      const std::lock_guard<std::mutex> lock(mu_);
+      st = spec_->write_prepared(lba, data, snap, std::move(pd), nullptr);
+      kick = destage_ != nullptr && !pool_.empty() && destage_->destage_pending();
+    } else {
+      const std::lock_guard<std::mutex> lock(mu_);
+      st = policy_->write(lba, data, nullptr);
+      // With the pool active the policy's inline watermark pass is a no-op,
+      // so the write path itself must wake the feeder once deferred work
+      // piles up.
+      kick = destage_ != nullptr && !pool_.empty() && destage_->destage_pending();
+    }
   }
   if (st != IoStatus::kOk) {
     shards_[s].write_errors.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +197,9 @@ IoStatus ConcurrentCache::write(Lba lba, std::span<const std::uint8_t> data) {
 void ConcurrentCache::nudge_feeder() { cv_.notify_one(); }
 
 void ConcurrentCache::flush() {
+  // Async requests drain first (holding no locks): a request still queued at
+  // the flush barrier could re-dirty groups behind the pool drain below.
+  drain_async();
   touch_idle_clock();
   flushes_.fetch_add(1, std::memory_order_relaxed);
   if (!pool_.empty()) {
@@ -195,6 +268,209 @@ ConcurrentCache::FrontStats ConcurrentCache::front_stats() const {
   }
   out.flushes = flushes_.load(std::memory_order_relaxed);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Async submission/completion engine
+// ---------------------------------------------------------------------------
+
+void ConcurrentCache::start_async(const AsyncEngineOptions& opts) {
+  KDD_CHECK(engine_workers_.empty());
+  KDD_CHECK(opts.workers >= 1);
+  KDD_CHECK(opts.shard_queue_depth >= 1);
+  KDD_CHECK(opts.high_watermark > opts.low_watermark);
+  KDD_CHECK(opts.low_watermark >= 1);
+  aopts_ = opts;
+  engine_workers_.reserve(opts.workers);
+  for (std::uint32_t w = 0; w < opts.workers; ++w) {
+    engine_workers_.emplace_back([this, w] { engine_main(w); });
+  }
+}
+
+bool ConcurrentCache::submit_request(AsyncRequest&& rq, bool block) {
+  KDD_CHECK(!engine_workers_.empty());
+  const std::size_t s = stripe_of(rq.lba);
+  std::unique_lock<std::mutex> lock(amu_);
+  bool stalled = false;
+  while (true) {
+    if (quiesced_ > 0 || engine_stop_) {
+      async_rejected_.fetch_add(1, std::memory_order_relaxed);
+      engine_metrics().rejected.inc();
+      return false;
+    }
+    if (!gate_closed_ && async_q_[s].size() < aopts_.shard_queue_depth) break;
+    if (!block) {
+      async_rejected_.fetch_add(1, std::memory_order_relaxed);
+      engine_metrics().rejected.inc();
+      return false;
+    }
+    stalled = true;
+    submit_cv_.wait(lock);
+  }
+  if (stalled) async_stalls_.fetch_add(1, std::memory_order_relaxed);
+  rq.enqueue_ns = now_ticks();
+  async_q_[s].push_back(std::move(rq));
+  ++async_inflight_;
+  if (async_inflight_ >= aopts_.high_watermark) gate_closed_ = true;
+  async_submitted_.fetch_add(1, std::memory_order_relaxed);
+  engine_metrics().inflight.set(static_cast<std::int64_t>(async_inflight_));
+  lock.unlock();
+  engine_cv_.notify_one();
+  return true;
+}
+
+bool ConcurrentCache::submit_read(Lba lba, std::span<std::uint8_t> out,
+                                  AsyncCompletion cb) {
+  AsyncRequest rq;
+  rq.lba = lba;
+  rq.is_read = true;
+  rq.out = out;
+  rq.cb = std::move(cb);
+  return submit_request(std::move(rq), /*block=*/true);
+}
+
+bool ConcurrentCache::submit_write(Lba lba, std::span<const std::uint8_t> data,
+                                   AsyncCompletion cb) {
+  AsyncRequest rq;
+  rq.lba = lba;
+  rq.payload.assign(data.begin(), data.end());
+  rq.cb = std::move(cb);
+  return submit_request(std::move(rq), /*block=*/true);
+}
+
+bool ConcurrentCache::try_submit_read(Lba lba, std::span<std::uint8_t> out,
+                                      AsyncCompletion cb) {
+  AsyncRequest rq;
+  rq.lba = lba;
+  rq.is_read = true;
+  rq.out = out;
+  rq.cb = std::move(cb);
+  return submit_request(std::move(rq), /*block=*/false);
+}
+
+bool ConcurrentCache::try_submit_write(Lba lba,
+                                       std::span<const std::uint8_t> data,
+                                       AsyncCompletion cb) {
+  AsyncRequest rq;
+  rq.lba = lba;
+  rq.payload.assign(data.begin(), data.end());
+  rq.cb = std::move(cb);
+  return submit_request(std::move(rq), /*block=*/false);
+}
+
+std::size_t ConcurrentCache::claimable_shard(std::size_t home) const {
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    const std::size_t s = (home + i) % kStripes;
+    if (!shard_busy_[s] && !async_q_[s].empty()) return s;
+  }
+  return kStripes;
+}
+
+void ConcurrentCache::engine_main(std::size_t worker) {
+  // Home range mirrors the cleaner pool: worker w starts its claim scan at a
+  // distinct shard so workers spread instead of piling onto shard 0.
+  const std::size_t home =
+      (worker * kStripes) / std::max<std::size_t>(std::size_t{1}, aopts_.workers);
+  std::unique_lock<std::mutex> lock(amu_);
+  std::deque<AsyncRequest> batch;
+  while (true) {
+    std::size_t shard = kStripes;
+    engine_cv_.wait(lock, [&] {
+      shard = claimable_shard(home);
+      return engine_stop_ || shard != kStripes;
+    });
+    // Drain-before-exit: on stop, finish whatever is still queued (the
+    // destructor quiesces first, so normally nothing is).
+    if (shard == kStripes) {
+      if (engine_stop_) return;
+      continue;
+    }
+    // Claim the whole shard FIFO: one worker per shard at a time, requests
+    // executed in submission order — per-parity-group order stays total.
+    shard_busy_[shard] = true;
+    batch.swap(async_q_[shard]);
+    lock.unlock();
+
+    const auto dequeue_ns = now_ticks();
+    for (AsyncRequest& rq : batch) {
+      engine_metrics().queue_wait.observe(
+          static_cast<std::uint64_t>(std::max<std::chrono::steady_clock::rep>(
+              0, dequeue_ns - rq.enqueue_ns)));
+      const IoStatus st = rq.is_read ? exec_read(rq.lba, rq.out)
+                                     : exec_write(rq.lba, rq.payload);
+      if (rq.cb) rq.cb(st);
+      async_completed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> g(amu_);
+        --async_inflight_;
+        engine_metrics().inflight.set(
+            static_cast<std::int64_t>(async_inflight_));
+        if (gate_closed_ && async_inflight_ <= aopts_.low_watermark) {
+          gate_closed_ = false;
+          submit_cv_.notify_all();
+        }
+        if (async_inflight_ == 0) async_drain_cv_.notify_all();
+      }
+    }
+    batch.clear();
+
+    lock.lock();
+    shard_busy_[shard] = false;
+    // The shard may have refilled while busy; whoever is idle picks it up.
+    // Submitters blocked on this shard's depth bound see the space we freed.
+    if (!async_q_[shard].empty()) engine_cv_.notify_one();
+    submit_cv_.notify_all();
+  }
+}
+
+void ConcurrentCache::drain_async() {
+  std::unique_lock<std::mutex> lock(amu_);
+  async_drain_cv_.wait(lock, [this] { return async_inflight_ == 0; });
+}
+
+void ConcurrentCache::quiesce_submissions() {
+  std::unique_lock<std::mutex> lock(amu_);
+  ++quiesced_;
+  // Blocked submitters must observe the quiesce and return false — they hold
+  // client buffers whose completions would otherwise never fire.
+  submit_cv_.notify_all();
+  async_drain_cv_.wait(lock, [this] { return async_inflight_ == 0; });
+}
+
+void ConcurrentCache::resume_submissions() {
+  {
+    const std::lock_guard<std::mutex> lock(amu_);
+    KDD_CHECK(quiesced_ > 0);
+    --quiesced_;
+  }
+  submit_cv_.notify_all();
+}
+
+AsyncEngineStats ConcurrentCache::async_stats() const {
+  AsyncEngineStats s;
+  s.submitted = async_submitted_.load(std::memory_order_relaxed);
+  s.completed = async_completed_.load(std::memory_order_relaxed);
+  s.rejected = async_rejected_.load(std::memory_order_relaxed);
+  s.stalls = async_stalls_.load(std::memory_order_relaxed);
+  s.inflight = s.submitted - s.completed;
+  return s;
+}
+
+bool ConcurrentCache::handle_disk_failure_online(std::uint32_t disk) {
+  auto* kdd = dynamic_cast<KddCache*>(policy_);
+  KDD_CHECK(kdd != nullptr);
+  // Quiesce discipline: no request may be in flight when the disk drops —
+  // the rebuild engine's stripe barrier assumes it sees a settled dirty-group
+  // map, and a half-executed request completing mid-barrier would race it.
+  // Sync front-door requests are unaffected (they serialise on mu_ below).
+  quiesce_submissions();
+  bool started;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    started = kdd->handle_disk_failure_online(disk);
+  }
+  resume_submissions();
+  return started;
 }
 
 // ---------------------------------------------------------------------------

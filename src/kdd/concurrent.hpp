@@ -45,6 +45,27 @@
 // Lock order with the pool: feeder takes policy -> queue; workers take
 // queue (released) -> stripe -> policy. Nobody holds queue while waiting on
 // stripe/policy in the other direction, so the order is acyclic.
+//
+// Async request engine (optional, start_async()): submitters enqueue
+// outstanding-request contexts into per-shard submission queues (shard ==
+// front-lock stripe) and return immediately; engine workers claim a shard,
+// drain its queue FIFO and execute each request through the same
+// stripe -> policy path as the sync front door, completing via callback.
+// One worker per shard at a time plus FIFO drain preserves the per-parity-
+// group total order the deterministic replay relies on. Admission control
+// bounds the damage of deep client queue depths: per-shard queues are
+// bounded, and a global high watermark closes the submission gate until
+// completions bring the total outstanding back under the low watermark
+// (submit() blocks, try_submit() rejects). See docs/performance.md.
+//
+// On write hits the engine — and the sync front door — splits the request
+// through the policy's SpeculativeWriteSource hook when it implements one:
+// snapshot the delta base under the policy mutex, LZ-compress the delta with
+// the mutex RELEASED (only the request's stripe lock held), then revalidate
+// and commit under the mutex. The compression is the dominant per-request
+// CPU cost, so this is what lets N submitters/workers scale past the single
+// policy mutex. The engine's locks (amu_) are leaf: never held while taking
+// stripe/policy, and vice versa never needed by the sync path.
 #pragma once
 
 #include <array>
@@ -59,7 +80,9 @@
 #include <vector>
 
 #include "cache/policy.hpp"
+#include "common/bytes.hpp"
 #include "kdd/destage.hpp"
+#include "kdd/request_engine.hpp"
 #include "raid/layout.hpp"
 
 namespace kdd {
@@ -111,8 +134,54 @@ class ConcurrentCache {
   IoStatus read(Lba lba, std::span<std::uint8_t> out);
   IoStatus write(Lba lba, std::span<const std::uint8_t> data);
 
-  /// Drains all deferred state (blocking).
+  /// Drains all deferred state (blocking): outstanding async requests first,
+  /// then the cleaner pool's drain barrier and the policy's own flush.
   void flush();
+
+  // -- Async submission/completion engine -----------------------------------
+
+  /// Starts the engine (once; opts.workers >= 1). Until then submit_* must
+  /// not be called; the sync read()/write() front door works either way.
+  void start_async(const AsyncEngineOptions& opts);
+  bool async_started() const { return !engine_workers_.empty(); }
+
+  /// Enqueues a request and returns; `cb` fires exactly once on an engine
+  /// worker once the request executed. Blocks while the target shard queue
+  /// is full or the global high watermark has closed the gate; returns false
+  /// only when submissions are quiesced (cb is then never invoked). `out`
+  /// must stay alive until completion; `data` is copied at submit time.
+  bool submit_read(Lba lba, std::span<std::uint8_t> out, AsyncCompletion cb);
+  bool submit_write(Lba lba, std::span<const std::uint8_t> data,
+                    AsyncCompletion cb);
+
+  /// Non-blocking variants: false (and kdd_admission_rejected_total) when
+  /// the shard queue is full, the gate is closed, or submissions are
+  /// quiesced. The callback is never invoked on rejection.
+  bool try_submit_read(Lba lba, std::span<std::uint8_t> out, AsyncCompletion cb);
+  bool try_submit_write(Lba lba, std::span<const std::uint8_t> data,
+                        AsyncCompletion cb);
+
+  /// Blocks until every accepted submission has completed. Does not stop new
+  /// submissions — callers wanting a stable zero quiesce first.
+  void drain_async();
+
+  /// Quiesce discipline (destructor, handle_disk_failure_online): reject new
+  /// submissions, then wait for all in-flight requests to complete. Balanced
+  /// by resume_submissions(); nestable (a counter, not a flag).
+  void quiesce_submissions();
+  void resume_submissions();
+
+  /// Engine lifetime counters (relaxed reads; inflight is exact only after a
+  /// drain). All zero when the engine was never started.
+  AsyncEngineStats async_stats() const;
+
+  /// Online disk-failure handler for async/sync mixed operation: quiesces the
+  /// submission queues (reject new, complete in-flight), hands the failure to
+  /// the policy's rebuild engine — its stripe barrier then runs against a
+  /// quiesced front end — and resumes submissions. Requires a KddCache policy
+  /// with a bound RebuildEngine. Returns what the engine's on_disk_failure
+  /// returned (false: no spare, array stays degraded).
+  bool handle_disk_failure_online(std::uint32_t disk);
 
   /// Exact policy stats (takes the policy mutex; waits for in-flight
   /// requests). Also refreshes the lock-free snapshot below.
@@ -155,10 +224,33 @@ class ConcurrentCache {
     std::vector<GroupId> groups;
   };
 
+  /// One outstanding async request. Write payloads are owned copies (the
+  /// submitter's buffer is reusable the moment submit returns); read outputs
+  /// are caller-owned spans that must outlive the completion.
+  struct AsyncRequest {
+    Lba lba = 0;
+    bool is_read = false;
+    std::span<std::uint8_t> out{};
+    Page payload;
+    AsyncCompletion cb;
+    std::chrono::steady_clock::rep enqueue_ns = 0;
+  };
+
   void cleaner_main();
   std::size_t stripe_of(Lba lba) const;
   std::size_t stripe_of_group(GroupId g) const;
   void touch_idle_clock();
+  /// Executes one request under stripe -> policy locking (the shared body of
+  /// the sync front door and the engine workers). exec_write routes through
+  /// the policy's SpeculativeWriteSource hook when available.
+  IoStatus exec_read(Lba lba, std::span<std::uint8_t> out);
+  IoStatus exec_write(Lba lba, std::span<const std::uint8_t> data);
+  /// Common submit path; `block` selects submit() vs try_submit() semantics.
+  bool submit_request(AsyncRequest&& rq, bool block);
+  /// First claimable shard (not busy, non-empty) starting at `home`;
+  /// kStripes if none. Caller holds amu_.
+  std::size_t claimable_shard(std::size_t home) const;
+  void engine_main(std::size_t worker);
   /// Copies the policy's stats into the lock-free snapshot slot. Caller must
   /// hold mu_.
   void publish_snapshot_locked() const;
@@ -179,6 +271,9 @@ class ConcurrentCache {
 
   CachePolicy* policy_;
   const RaidLayout* layout_;  // may be null: stripe by raw LBA
+  /// The policy's speculative-write hook (null: no speculation). Resolved
+  /// once at construction; KddCache implements it in prototype mode.
+  SpeculativeWriteSource* spec_ = nullptr;
   const std::chrono::milliseconds idle_wakeup_;
 
   // Front tier: striped by parity group.
@@ -217,6 +312,28 @@ class ConcurrentCache {
   std::atomic<int> refill_pause_{0};  ///< >0: flush draining, feeder holds off
   std::atomic<std::uint64_t> pool_batches_{0};
   std::vector<std::thread> pool_;
+
+  // Async engine state. amu_ guards the submission queues, the shard-busy
+  // flags and the admission counters; it is a LEAF lock (never held while
+  // acquiring stripe/policy/queue locks). The gate bool implements the
+  // high/low watermark hysteresis; quiesce is a counter so nested quiesce
+  // sections (drill rigs) compose.
+  AsyncEngineOptions aopts_;
+  std::mutex amu_;
+  std::condition_variable submit_cv_;       ///< submitters: space / gate open
+  std::condition_variable engine_cv_;       ///< workers: work available / stop
+  std::condition_variable async_drain_cv_;  ///< drain/quiesce: inflight == 0
+  std::array<std::deque<AsyncRequest>, kStripes> async_q_;
+  std::array<bool, kStripes> shard_busy_{};  ///< claimed by a worker
+  std::size_t async_inflight_ = 0;           ///< queued + executing
+  bool gate_closed_ = false;
+  int quiesced_ = 0;
+  bool engine_stop_ = false;
+  std::atomic<std::uint64_t> async_submitted_{0};
+  std::atomic<std::uint64_t> async_completed_{0};
+  std::atomic<std::uint64_t> async_rejected_{0};
+  std::atomic<std::uint64_t> async_stalls_{0};
+  std::vector<std::thread> engine_workers_;
 
   std::thread cleaner_;  // last member: starts after everything is ready
 };

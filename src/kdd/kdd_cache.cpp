@@ -605,13 +605,22 @@ IoStatus KddCache::degraded_write_page(Lba lba, std::span<const std::uint8_t> da
   return st;
 }
 
-IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) {
-  const obs::TraceContextScope trace;  // request root span + ambient context
+void KddCache::write_preamble(IoPlan* plan) {
   ++op_counter_;
   if (rebuild_) {
     rebuild_->note_foreground();
     if (rebuild_->health() != ArrayHealth::kHealthy) rebuild_->pump(plan);
   }
+}
+
+IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* plan) {
+  const obs::TraceContextScope trace;  // request root span + ambient context
+  write_preamble(plan);
+  return write_inner(lba, data, plan);
+}
+
+IoStatus KddCache::write_inner(Lba lba, std::span<const std::uint8_t> data,
+                               IoPlan* plan) {
   const std::uint32_t set = set_for(lba);
   std::uint32_t idx;
   {
@@ -642,8 +651,14 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   }
 
   ++stats_.write_hits;
+  return write_hit_locked(lba, data, set, idx, compute_delta(idx, data, plan),
+                          plan);
+}
+
+IoStatus KddCache::write_hit_locked(Lba lba, std::span<const std::uint8_t> data,
+                                    std::uint32_t set, std::uint32_t idx,
+                                    DeltaInfo info, IoPlan* plan) {
   CacheSets::CacheSlot& slot = sets_.slot(idx);
-  DeltaInfo info = compute_delta(idx, data, plan);
 
   if (slot.state == PageState::kClean) {
     if (!info.ok) {
@@ -795,6 +810,59 @@ IoStatus KddCache::write(Lba lba, std::span<const std::uint8_t> data, IoPlan* pl
   stage_delta(lba, idx, std::move(info), plan);
   maybe_clean(plan);
   return IoStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Speculative write split (SpeculativeWriteSource)
+// ---------------------------------------------------------------------------
+
+SpeculativeWriteSource::Snapshot KddCache::write_snapshot(
+    Lba lba, std::span<std::uint8_t> base) {
+  Snapshot snap;
+  // Counter mode samples delta sizes from rng_ in request order, so a
+  // speculated request would perturb every later draw: never speculate.
+  if (!ssd_.real()) return snap;
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  if (idx == CacheSets::kNone) return snap;
+  const CacheSets::CacheSlot& slot = sets_.slot(idx);
+  if (slot.state != PageState::kClean && slot.state != PageState::kOld) {
+    return snap;
+  }
+  // This read replaces the one compute_delta would have issued, so the SSD
+  // accounting of a successfully-speculated hit matches the inline path
+  // exactly. An unreadable base is not a reason to fail here — returning an
+  // invalid snapshot routes the request through write_inner(), which
+  // re-reads and takes the media-fallback path.
+  if (ssd_.read_data(idx, base, nullptr) != IoStatus::kOk) return snap;
+  snap.idx = idx;
+  snap.state = static_cast<std::uint8_t>(slot.state);
+  snap.valid = true;
+  return snap;
+}
+
+IoStatus KddCache::write_prepared(Lba lba, std::span<const std::uint8_t> data,
+                                  const Snapshot& snap, PreparedDelta&& delta,
+                                  IoPlan* plan) {
+  const obs::TraceContextScope trace;
+  write_preamble(plan);
+  if (!snap.valid) return write_inner(lba, data, plan);
+  const std::uint32_t set = set_for(lba);
+  const std::uint32_t idx = sets_.find_data(set, lba);
+  // Revalidate after the preamble: a rebuild pump (like any activity on other
+  // parity groups between snapshot and now — eviction, cleaning, healing) may
+  // have moved or retired the slot. The caller's stripe lock guarantees no
+  // same-group request intervened, so idx + state matching means the DAZ base
+  // the delta was diffed against is still the slot's exact contents.
+  if (idx != snap.idx ||
+      static_cast<std::uint8_t>(sets_.slot(idx).state) != snap.state) {
+    return write_inner(lba, data, plan);  // recompute the delta inline
+  }
+  ++stats_.write_hits;
+  DeltaInfo info;
+  info.blob = std::move(delta.blob);
+  info.packed = delta.packed;
+  return write_hit_locked(lba, data, set, idx, std::move(info), plan);
 }
 
 // ---------------------------------------------------------------------------

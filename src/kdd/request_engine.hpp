@@ -1,0 +1,103 @@
+// Types for the asynchronous submission/completion request engine.
+//
+// The synchronous front door (ConcurrentCache::read/write) runs every
+// request to completion on the submitter's thread, so submitter-side
+// throughput is bounded by the single policy mutex no matter how many
+// clients there are. The async engine decouples the two halves: a submitter
+// *enqueues* an outstanding-request context into a per-shard submission
+// queue and returns immediately; engine workers drain the shards, execute
+// each request under the usual stripe -> policy locking, and complete it
+// via callback. Admission control (bounded per-shard queues plus global
+// high/low watermarks) keeps deep client queue depths — the fig10/fig11
+// FIO sweeps go to QD=256 — from burying the cleaner pool in deferred work.
+//
+// This header holds the knobs and the optional policy-side hook; the engine
+// itself lives inside ConcurrentCache (kdd/concurrent.hpp), which owns the
+// queues, the workers and the completion bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "cache/policy.hpp"
+#include "compress/delta.hpp"
+
+namespace kdd {
+
+/// Completion callback: invoked exactly once per accepted submission, on an
+/// engine worker thread, after the request executed. The read/write buffers
+/// handed to submit_read (output) must stay alive until the callback fires;
+/// write payloads are copied at submit time and may be reused immediately.
+using AsyncCompletion = std::function<void(IoStatus)>;
+
+/// Engine sizing and admission-control knobs.
+struct AsyncEngineOptions {
+  /// Worker threads draining the submission queues. 0 disables the engine
+  /// (submit_* then KDD_CHECK-fails; the sync front door is unaffected).
+  std::uint32_t workers = 0;
+  /// Bounded in-flight per shard: a submitter targeting a shard whose queue
+  /// holds this many requests blocks (submit) or is rejected (try_submit).
+  std::size_t shard_queue_depth = 64;
+  /// Global watermarks: at >= high total outstanding requests, submit()
+  /// blocks (and try_submit rejects) until completions bring the total back
+  /// under low. high must be > low > 0.
+  std::size_t high_watermark = 1024;
+  std::size_t low_watermark = 512;
+};
+
+/// Lock-free-ish counters describing the engine's lifetime activity,
+/// sampled without stopping the workers.
+struct AsyncEngineStats {
+  std::uint64_t submitted = 0;   ///< accepted submissions
+  std::uint64_t completed = 0;   ///< completions fired
+  std::uint64_t rejected = 0;    ///< try_submit refusals + quiesced submits
+  std::uint64_t stalls = 0;      ///< submit() calls that had to block
+  std::uint64_t inflight = 0;    ///< submitted - completed at sample time
+};
+
+/// Optional policy-side hook that lets the engine (and the sync front door)
+/// hold the policy mutex only for admission/placement decisions: the
+/// expensive write-hit delta computation (DAZ read-back diff + LZ compress,
+/// the dominant per-request CPU cost) moves outside the lock.
+///
+/// Protocol, always under the request's stripe lock (which serialises every
+/// request of the parity group, so the slot's contents cannot change under
+/// the speculation — see docs/performance.md):
+///   1. [policy lock]  snap = write_snapshot(lba, base)  — copy the DAZ base
+///   2. [NO locks]     delta = make_delta(base, data)    — the parallel part
+///   3. [policy lock]  write_prepared(lba, data, snap, delta)
+/// write_prepared revalidates the snapshot against live state (concurrent
+/// activity on *other* stripes may have evicted, cleaned or healed the slot)
+/// and falls back to the plain write() path — recomputing the delta inline —
+/// on any mismatch, so the result is byte-equivalent to the synchronous path
+/// in every case.
+class SpeculativeWriteSource {
+ public:
+  struct Snapshot {
+    std::uint32_t idx = 0;     ///< slot index the base was captured from
+    std::uint8_t state = 0;    ///< PageState at capture time
+    bool valid = false;        ///< false: don't speculate, take write()
+  };
+  struct PreparedDelta {
+    Delta blob;
+    std::uint32_t packed = 0;  ///< blob.packed_size() at compute time
+  };
+
+  virtual ~SpeculativeWriteSource() = default;
+
+  /// Under the policy mutex: if `lba` is currently a write hit whose delta
+  /// can be computed outside the lock (real data plane, readable DAZ base),
+  /// copies the base page into `base` (kPageSize) and returns a valid
+  /// snapshot; otherwise returns valid = false.
+  virtual Snapshot write_snapshot(Lba lba, std::span<std::uint8_t> base) = 0;
+
+  /// Under the policy mutex again: consume a delta computed outside the
+  /// lock. Must behave exactly like write() when the snapshot no longer
+  /// matches live state.
+  virtual IoStatus write_prepared(Lba lba, std::span<const std::uint8_t> data,
+                                  const Snapshot& snap, PreparedDelta&& delta,
+                                  IoPlan* plan) = 0;
+};
+
+}  // namespace kdd

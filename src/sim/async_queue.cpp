@@ -1,0 +1,78 @@
+#include "sim/async_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kdd {
+
+void SimCompletionQueue::schedule(SimTime due_us, IoStatus st,
+                                  AsyncCallback cb) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  slots_[slot].st = st;
+  slots_[slot].cb = std::move(cb);
+  heap_.push(Pending{std::max(due_us, now_us_), next_seq_++, slot});
+}
+
+std::size_t SimCompletionQueue::advance_to(SimTime now_us) {
+  now_us_ = std::max(now_us_, now_us);
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().due_us <= now_us_) {
+    const std::size_t slot = heap_.top().slot;
+    heap_.pop();
+    // Move the callback out before invoking: a completion may schedule
+    // further I/O onto this queue (reusing the slot) from inside the call.
+    AsyncCallback cb = std::move(slots_[slot].cb);
+    const IoStatus st = slots_[slot].st;
+    slots_[slot].cb = nullptr;
+    free_slots_.push_back(slot);
+    if (cb) cb(st);
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t SimCompletionQueue::drain() {
+  std::size_t fired = 0;
+  while (!heap_.empty()) {
+    fired += advance_to(heap_.top().due_us);
+  }
+  return fired;
+}
+
+void SimAsyncDevice::submit(const AsyncIo& io, AsyncCallback cb) {
+  KDD_CHECK(cq_ != nullptr);
+  // Execute the data plane now — contents must be exact for parity/delta
+  // verification — and defer only the completion by the modelled latency.
+  const IoStatus st = io.op == AsyncIo::Op::kRead ? read(io.page, io.out)
+                                                  : write(io.page, io.data);
+  const SimTime latency = model_ ? model_(io.op, io.page) : 0;
+  cq_->schedule(cq_->now() + latency, st, std::move(cb));
+}
+
+SimAsyncDevice::ServiceModel hdd_service_model(HddTimingModel* model,
+                                               Rng* rng) {
+  KDD_CHECK(model != nullptr && rng != nullptr);
+  return [model, rng](AsyncIo::Op op, Lba page) {
+    const IoKind kind = op == AsyncIo::Op::kRead ? IoKind::kRead : IoKind::kWrite;
+    return model->service_time(kind, page, /*pages=*/1, *rng);
+  };
+}
+
+SimAsyncDevice::ServiceModel ssd_service_model(const SsdTimingModel* model,
+                                               Rng* rng) {
+  KDD_CHECK(model != nullptr && rng != nullptr);
+  return [model, rng](AsyncIo::Op op, Lba) {
+    const IoKind kind = op == AsyncIo::Op::kRead ? IoKind::kRead : IoKind::kWrite;
+    return model->service_time(kind, *rng);
+  };
+}
+
+}  // namespace kdd

@@ -1,0 +1,119 @@
+// Simulated completion queue for the BlockDevice::submit interface.
+//
+// The data plane stays synchronous and exact (parity, deltas and recovery
+// are verified on real bytes), so a simulated async device executes the
+// read/write immediately but *defers the completion callback*: the result is
+// scheduled on a SimCompletionQueue at now + service_time, and advance()
+// fires completions in simulated-time order. That gives the submit-and-
+// complete request engine the property that matters for queue-depth sweeps —
+// completions reorder according to the device timing model, not submission
+// order — without forking the data plane.
+//
+// MemDevice / FileDevice keep BlockDevice's default synchronous submit(),
+// which completes inline and is trivially correct (their "service time" is
+// the call itself).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "blockdev/timing.hpp"
+#include "common/rng.hpp"
+
+namespace kdd {
+
+/// Time-ordered pending completions, driven by an externally-advanced
+/// simulated clock (µs, same unit as the timing models). Ties fire in
+/// submission order (a monotone sequence number breaks them), so replaying
+/// the same submissions always completes in the same order.
+class SimCompletionQueue {
+ public:
+  explicit SimCompletionQueue(SimTime start_us = 0) : now_us_(start_us) {}
+
+  SimTime now() const { return now_us_; }
+  std::size_t pending() const { return heap_.size(); }
+  /// Due time of the earliest pending completion (0 when none are pending).
+  SimTime next_due() const { return heap_.empty() ? 0 : heap_.top().due_us; }
+
+  /// Schedules `cb(st)` to fire once the clock reaches `due_us`.
+  void schedule(SimTime due_us, IoStatus st, AsyncCallback cb);
+
+  /// Advances the clock to `now_us` (clamped to never move backwards) and
+  /// fires every completion due by then, in (time, submission) order.
+  /// Returns the number of completions fired.
+  std::size_t advance_to(SimTime now_us);
+
+  /// Fires everything still pending (advances the clock to the last due
+  /// time). Returns the number of completions fired.
+  std::size_t drain();
+
+ private:
+  struct Pending {
+    SimTime due_us = 0;
+    std::uint64_t seq = 0;
+    // Shared-ptr-free ordering: callbacks live in slots_, the heap holds ids.
+    std::size_t slot = 0;
+    bool operator>(const Pending& other) const {
+      if (due_us != other.due_us) return due_us > other.due_us;
+      return seq > other.seq;
+    }
+  };
+  struct Slot {
+    IoStatus st = IoStatus::kOk;
+    AsyncCallback cb;
+  };
+
+  SimTime now_us_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      heap_;
+};
+
+/// BlockDevice adapter that executes I/O on the wrapped device immediately
+/// (exact data plane) but completes submit() through a SimCompletionQueue at
+/// now + service_time, per an attached timing model. Synchronous read/write
+/// pass straight through, so a device can serve both interfaces at once.
+/// Neither the inner device nor the queue is owned.
+class SimAsyncDevice final : public BlockDevice {
+ public:
+  /// Service-time model for one I/O (µs). The bundled factories below bind
+  /// the calibrated HDD/SSD models from blockdev/timing.hpp.
+  using ServiceModel = std::function<SimTime(AsyncIo::Op, Lba)>;
+
+  SimAsyncDevice(BlockDevice* inner, SimCompletionQueue* cq, ServiceModel model)
+      : inner_(inner), cq_(cq), model_(std::move(model)) {}
+
+  IoStatus read(Lba page, std::span<std::uint8_t> out) override {
+    return inner_->read(page, out);
+  }
+  IoStatus write(Lba page, std::span<const std::uint8_t> data) override {
+    return inner_->write(page, data);
+  }
+  std::uint64_t num_pages() const override { return inner_->num_pages(); }
+  void trim(Lba page) override { inner_->trim(page); }
+  void fail() override { inner_->fail(); }
+  void repair() override { inner_->repair(); }
+  bool failed() const override { return inner_->failed(); }
+
+  void submit(const AsyncIo& io, AsyncCallback cb) override;
+
+ private:
+  BlockDevice* inner_;
+  SimCompletionQueue* cq_;
+  ServiceModel model_;
+};
+
+/// Binds an HddTimingModel (stateful: models the head position) to a
+/// SimAsyncDevice service model. `model` and `rng` are not owned.
+SimAsyncDevice::ServiceModel hdd_service_model(HddTimingModel* model, Rng* rng);
+
+/// Binds an SsdTimingModel to a SimAsyncDevice service model.
+SimAsyncDevice::ServiceModel ssd_service_model(const SsdTimingModel* model,
+                                               Rng* rng);
+
+}  // namespace kdd
