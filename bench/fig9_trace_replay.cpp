@@ -12,15 +12,21 @@
 
 #include "bench_util.hpp"
 #include "harness/telemetry.hpp"
+#include "obs/export.hpp"
+#include "obs/serve.hpp"
 #include "sim/event_sim.hpp"
 
 namespace {
 
 // --telemetry[=DIR]: after the figure table, re-run the KDD/Fin1 replay with
-// the full observability stack on (spans, metrics, wear series) and drop the
-// machine-readable artifacts under DIR (default "telemetry-fig9"). This is
-// the run CI's obs-smoke job schema-validates.
-void run_telemetry_replay(const char* out_dir, double scale,
+// the full observability stack on (spans, metrics, wear series, health
+// engine, flight recorder) and drop the machine-readable artifacts under DIR
+// (default "telemetry-fig9"). The run also exercises the live serving
+// surface: the in-process HealthHandler snapshots /metrics and /health into
+// scrape_metrics.prom / scrape_health.json, and a ScrapeServer on an
+// ephemeral loopback port is self-fetched with the http_get client — the
+// curl-free end-to-end proof CI's obs-smoke job schema-validates.
+bool run_telemetry_replay(const char* out_dir, double scale,
                           std::uint64_t cache_pages) {
   using namespace kdd;
   Trace trace = generate_preset("Fin1", scale);
@@ -47,13 +53,47 @@ void run_telemetry_replay(const char* out_dir, double scale,
     session.on_request(now, latency_us);
   });
   const SimResult r = sim.run_open_loop(trace);
+
+  // Scrape the live surface before finish() tears the engine down: the
+  // in-process handler writes the exact bytes a scraper would see, and the
+  // socket server is hit once over loopback to prove the wire path.
+  bool scrape_ok = true;
+  {
+    obs::HealthHandler handler(session.health());
+    const obs::ScrapeResponse metrics = handler.handle("/metrics");
+    const obs::ScrapeResponse health = handler.handle("/health");
+    const std::string dir = std::string(out_dir) + "/";
+    scrape_ok &= metrics.status == 200 &&
+                 obs::write_text_file(dir + "scrape_metrics.prom", metrics.body);
+    scrape_ok &= health.status == 200 &&
+                 obs::write_text_file(dir + "scrape_health.json", health.body);
+
+    obs::ScrapeServer server(handler);
+    if (server.start(0)) {
+      std::string body;
+      int status = 0;
+      scrape_ok &= obs::http_get(server.port(), "/health", &body, &status) &&
+                   status == 200 && body == health.body;
+      // /metrics over the wire too; the registry is quiesced (the sim run
+      // finished above), so the socket body matches the snapshot exactly.
+      scrape_ok &= obs::http_get(server.port(), "/metrics", &body, &status) &&
+                   status == 200 && body == metrics.body;
+      server.stop();
+    } else {
+      std::printf("[telemetry] scrape server bind failed (no loopback?); "
+                  "socket path skipped\n");
+    }
+  }
+
   const bool ok = session.finish();
   std::printf("\n[telemetry] KDD/Fin1 instrumented replay: %llu requests, "
               "mean %.2f ms, %zu buckets -> %s/{metrics.prom,snapshot.json,"
-              "timeseries.jsonl,trace.json} (%s)\n",
+              "timeseries.jsonl,trace.json,health.json,flight.json} "
+              "(%s, scrape %s)\n",
               static_cast<unsigned long long>(r.requests),
               r.mean_response_ms(), session.series().samples().size(), out_dir,
-              ok ? "ok" : "WRITE FAILED");
+              ok ? "ok" : "WRITE FAILED", scrape_ok ? "ok" : "FAILED");
+  return ok && scrape_ok;
 }
 
 }  // namespace
@@ -104,7 +144,7 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\n(mean response time in ms; paper: KDD -41.7/-61.2/-28.0/-30.1%% vs Nossd)\n");
   if (telemetry_dir != nullptr) {
-    run_telemetry_replay(telemetry_dir, scale, cache_pages);
+    if (!run_telemetry_replay(telemetry_dir, scale, cache_pages)) return 1;
   }
   return 0;
 }

@@ -5,11 +5,18 @@
 //   snapshot.json     kdd-telemetry-snapshot-v1 (one JSON object, one line)
 //   timeseries.jsonl  kdd-telemetry-timeseries-v1 (header + bucket lines)
 //   trace.json        Chrome trace_event JSON of the span ring
+//   health.json       kdd-health-v1 (SLO windows + alert table)
+//   flight.json       kdd-flight-v1 (flight-recorder ring dump)
+//   scrape_*.{prom,json}  optional: bytes served by the live scrape surface
 //
 // Checks, per artifact:
 //  * metrics.prom — every non-comment line is `name[{labels}] value`, each
-//    family has exactly one `# TYPE` line, and the span-stage aggregate
-//    families are present.
+//    family has exactly one `# TYPE` line and a `# HELP` line, and the
+//    span-stage aggregate families are present.
+//  * health.json — schema tag, fast + slow windows with attainment numbers,
+//    and one alert entry per known rule.
+//  * flight.json — schema tag, strictly increasing `seq`, non-decreasing
+//    `t_us` (the ring is dumped in chronological order).
 //  * snapshot.json — single line, carries the schema tag.
 //  * timeseries.jsonl — header carries the schema tag + write_kinds; every
 //    bucket line carries t/ops, one ssd_writes_<kind> field per declared
@@ -89,16 +96,18 @@ bool json_number(const std::string& line, const std::string& key, double* out) {
 // metrics.prom
 // ---------------------------------------------------------------------------
 
-void validate_prometheus(const std::string& dir) {
+void validate_prometheus_file(const std::string& dir, const std::string& file,
+                              bool require_span_families) {
   std::string body;
-  if (!read_file(dir + "/metrics.prom", &body)) {
-    fail("metrics.prom: cannot read");
+  if (!read_file(dir + "/" + file, &body)) {
+    fail(file + ": cannot read");
     return;
   }
   check(!body.empty() && body.back() == '\n',
-        "metrics.prom: must end with a newline");
+        file + ": must end with a newline");
 
   std::set<std::string> type_families;   // families with a # TYPE line
+  std::set<std::string> help_families;   // families with a # HELP line
   std::set<std::string> value_families;  // families with at least one sample
   for (const std::string& line : split_lines(body)) {
     if (line.empty()) continue;
@@ -107,28 +116,36 @@ void validate_prometheus(const std::string& dir) {
       std::string family, kind;
       ss >> family >> kind;
       check(kind == "counter" || kind == "gauge" || kind == "summary",
-            "metrics.prom: unknown TYPE kind '" + kind + "' for " + family);
+            file + ": unknown TYPE kind '" + kind + "' for " + family);
       check(type_families.insert(family).second,
-            "metrics.prom: duplicate TYPE line for " + family);
+            file + ": duplicate TYPE line for " + family);
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::istringstream ss(line.substr(7));
+      std::string family;
+      ss >> family;
+      check(help_families.insert(family).second,
+            file + ": duplicate HELP line for " + family);
       continue;
     }
     if (line[0] == '#') continue;  // other comments are fine
     // Sample line: name[{labels}] value
     const std::size_t sp = line.rfind(' ');
     check(sp != std::string::npos && sp > 0 && sp + 1 < line.size(),
-          "metrics.prom: malformed sample line: " + line);
+          file + ": malformed sample line: " + line);
     if (sp == std::string::npos) continue;
     const std::string name = line.substr(0, sp);
     const std::string value = line.substr(sp + 1);
     char* end = nullptr;
     (void)std::strtod(value.c_str(), &end);
     check(end != nullptr && *end == '\0',
-          "metrics.prom: non-numeric value in: " + line);
+          file + ": non-numeric value in: " + line);
     const std::size_t brace = name.find('{');
     std::string family = brace == std::string::npos ? name : name.substr(0, brace);
     if (brace != std::string::npos) {
       check(name.back() == '}',
-            "metrics.prom: unterminated label set in: " + line);
+            file + ": unterminated label set in: " + line);
     }
     value_families.insert(family);
   }
@@ -143,16 +160,33 @@ void validate_prometheus(const std::string& dir) {
         typed = type_families.count(family.substr(0, family.size() - n)) > 0;
       }
     }
-    check(typed, "metrics.prom: family without TYPE line: " + family);
+    check(typed, file + ": family without TYPE line: " + family);
   }
-  // The span aggregates this PR introduces must be present.
-  for (const char* family :
-       {"kdd_span_stage_ns_total", "kdd_span_stage_count", "kdd_request_ns"}) {
-    check(type_families.count(family) > 0,
-          std::string("metrics.prom: missing family ") + family);
+  // Every typed family carries a HELP line (emitted as a pair).
+  for (const std::string& family : type_families) {
+    check(help_families.count(family) > 0,
+          file + ": family without HELP line: " + family);
   }
-  std::printf("metrics.prom: %zu typed families, %zu sampled families\n",
+  if (require_span_families) {
+    // The span aggregates PR 6 introduced must be present.
+    for (const char* family : {"kdd_span_stage_ns_total",
+                               "kdd_span_stage_count", "kdd_request_ns"}) {
+      check(type_families.count(family) > 0,
+            file + ": missing family " + family);
+    }
+    // The health engine's alert families must be present too.
+    for (const char* family : {"kdd_alerts_active", "kdd_alerts_fired_total",
+                               "kdd_slo_latency_burn"}) {
+      check(type_families.count(family) > 0,
+            file + ": missing family " + family);
+    }
+  }
+  std::printf("%s: %zu typed families, %zu sampled families\n", file.c_str(),
               type_families.size(), value_families.size());
+}
+
+void validate_prometheus(const std::string& dir) {
+  validate_prometheus_file(dir, "metrics.prom", /*require_span_families=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -369,6 +403,111 @@ void validate_trace(const std::string& dir) {
               events.size(), roots.size(), reconciled);
 }
 
+
+// ---------------------------------------------------------------------------
+// health.json
+// ---------------------------------------------------------------------------
+
+void validate_health_file(const std::string& dir, const std::string& file) {
+  std::string body;
+  if (!read_file(dir + "/" + file, &body)) {
+    fail(file + ": cannot read");
+    return;
+  }
+  check(body.find("\"kdd-health-v1\"") != std::string::npos,
+        file + ": missing schema tag kdd-health-v1");
+  check(body.find("\"windows\"") != std::string::npos &&
+            body.find("\"fast\"") != std::string::npos &&
+            body.find("\"slow\"") != std::string::npos,
+        file + ": missing fast/slow window sections");
+  double v = 0.0;
+  check(json_number(body, "attainment", &v), file + ": missing attainment");
+  check(json_number(body, "burn_rate", &v), file + ": missing burn_rate");
+  check(body.find("\"alerts\":[") != std::string::npos,
+        file + ": missing alerts array");
+  std::size_t rules = 0;
+  for (const char* rule :
+       {"latency_burn", "hit_ratio_collapse", "admission_reject_spike",
+        "queue_stall", "wear_imbalance", "array_degraded"}) {
+    if (body.find(std::string("\"rule\":\"") + rule + "\"") !=
+        std::string::npos) {
+      ++rules;
+    } else {
+      fail(file + ": missing alert rule entry " + rule);
+    }
+  }
+  std::printf("%s: ok (%zu rules)\n", file.c_str(), rules);
+}
+
+void validate_health(const std::string& dir) {
+  validate_health_file(dir, "health.json");
+}
+
+// ---------------------------------------------------------------------------
+// flight.json
+// ---------------------------------------------------------------------------
+
+void validate_flight(const std::string& dir) {
+  std::string body;
+  if (!read_file(dir + "/flight.json", &body)) {
+    fail("flight.json: cannot read");
+    return;
+  }
+  check(body.find("\"kdd-flight-v1\"") != std::string::npos,
+        "flight.json: missing schema tag kdd-flight-v1");
+  check(body.find("\"t_unit\":\"sim_us\"") != std::string::npos,
+        "flight.json: missing t_unit");
+  check(body.find("\"reason\":") != std::string::npos,
+        "flight.json: missing reason");
+  check(body.find("\"events\":[") != std::string::npos,
+        "flight.json: missing events array");
+
+  // The dump is chronological: seq strictly increasing, t_us non-decreasing.
+  std::uint64_t events = 0;
+  long long prev_seq = -1;
+  double prev_t = -1.0;
+  bool have_dump_mark = false;
+  std::size_t pos = 0;
+  while ((pos = body.find("{\"seq\":", pos)) != std::string::npos) {
+    const std::string obj = body.substr(pos, body.find('}', pos) - pos + 1);
+    pos += 7;
+    double seq = 0.0, t = 0.0;
+    check(json_number(obj, "seq", &seq), "flight.json: event missing seq");
+    check(json_number(obj, "t_us", &t), "flight.json: event missing t_us");
+    check(obj.find("\"kind\":\"") != std::string::npos,
+          "flight.json: event missing kind");
+    check(static_cast<long long>(seq) > prev_seq,
+          "flight.json: seq not strictly increasing");
+    check(t >= prev_t, "flight.json: t_us not non-decreasing");
+    prev_seq = static_cast<long long>(seq);
+    prev_t = t;
+    if (obj.find("\"kind\":\"dump\"") != std::string::npos) {
+      have_dump_mark = true;
+    }
+    ++events;
+  }
+  check(events > 0, "flight.json: no events");
+  check(have_dump_mark, "flight.json: missing dump-mark event");
+  std::printf("flight.json: %llu events, chronological\n",
+              static_cast<unsigned long long>(events));
+}
+
+// ---------------------------------------------------------------------------
+// scrape_*.{prom,json} (optional: written when the replay exercised the
+// live serving surface)
+// ---------------------------------------------------------------------------
+
+void validate_scrapes(const std::string& dir) {
+  std::string probe;
+  if (read_file(dir + "/scrape_metrics.prom", &probe)) {
+    validate_prometheus_file(dir, "scrape_metrics.prom",
+                             /*require_span_families=*/true);
+  }
+  if (read_file(dir + "/scrape_health.json", &probe)) {
+    validate_health_file(dir, "scrape_health.json");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -381,6 +520,9 @@ int main(int argc, char** argv) {
   validate_snapshot(dir);
   validate_timeseries(dir);
   validate_trace(dir);
+  validate_health(dir);
+  validate_flight(dir);
+  validate_scrapes(dir);
   if (g_failures > 0) {
     std::fprintf(stderr, "telemetry_validate: %d check(s) FAILED under %s\n",
                  g_failures, dir.c_str());

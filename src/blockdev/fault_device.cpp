@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -123,6 +124,8 @@ IoStatus FaultInjectingDevice::read(Lba page, std::span<std::uint8_t> out) {
   if (media_errors_.contains(page)) {
     ++fault_counters_.media_error_reads;
     fault_metrics().media_error_reads.inc();
+    obs::flight_note(obs::FlightKind::kFault, "media_error_read",
+                     static_cast<std::int64_t>(page));
     KDD_LOG(Info, "fault: read hit latent sector error page=%llu",
             static_cast<unsigned long long>(page));
     return IoStatus::kMediaError;
@@ -135,6 +138,8 @@ IoStatus FaultInjectingDevice::read(Lba page, std::span<std::uint8_t> out) {
     if (it != checksums_.end() && it->second != page_checksum(out)) {
       ++fault_counters_.corruptions_detected;
       fault_metrics().corruptions_detected.inc();
+      obs::flight_note(obs::FlightKind::kFault, "checksum_mismatch",
+                       static_cast<std::int64_t>(page));
       KDD_LOG(Warn, "fault: checksum mismatch (bit rot?) page=%llu",
               static_cast<unsigned long long>(page));
       return IoStatus::kCorrupt;  // data was transferred; caller may inspect
@@ -165,6 +170,8 @@ IoStatus FaultInjectingDevice::do_torn_write(Lba page,
   fault_metrics().torn_writes.inc();
   KDD_LOG(Warn, "fault: torn write page=%llu (power rail cut)",
           static_cast<unsigned long long>(page));
+  obs::flight_note_and_dump(obs::FlightKind::kPowerCut, "torn_write",
+                            static_cast<std::int64_t>(page));
   disarm_power_cut();
   rail_->cut();
   // The host never sees an ack for a torn write: the power died.

@@ -27,6 +27,7 @@
 
 #include "blockdev/block_device.hpp"
 #include "common/units.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace kdd {
@@ -68,6 +69,10 @@ inline void count_exhausted() {
   static const obs::Counter counter(&obs::MetricsRegistry::global(),
                                     "kdd_retry_exhausted_total");
   counter.inc();
+  // A drained retry budget is a black-box trigger: record and dump so the
+  // ring still holds the lead-up when the caller surfaces the failure.
+  obs::flight_note_and_dump(obs::FlightKind::kRetryExhausted,
+                            "retry_exhausted");
 }
 
 }  // namespace retry_detail

@@ -92,6 +92,18 @@ SsdWearStats SsdModel::wear() const {
   return w;
 }
 
+std::vector<double> SsdModel::region_erase_counts(std::size_t regions) const {
+  if (regions == 0) return {};
+  regions = std::min<std::size_t>(regions, num_blocks_);
+  std::vector<double> out(regions, 0.0);
+  const std::uint64_t span = num_blocks_ / regions;
+  for (std::uint64_t b = 0; b < num_blocks_; ++b) {
+    const std::size_t r = std::min<std::size_t>(regions - 1, span ? b / span : 0);
+    out[r] += static_cast<double>(blocks_[b].erase_count);
+  }
+  return out;
+}
+
 double SsdModel::endurance_consumed() const {
   const double budget =
       static_cast<double>(num_blocks_) * static_cast<double>(config_.pe_cycle_limit);

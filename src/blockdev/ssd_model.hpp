@@ -70,6 +70,12 @@ class SsdModel final : public BlockDevice {
   /// policy over another is the inverse ratio of this value at equal work.
   double endurance_consumed() const;
 
+  /// Total erase count of each of `regions` equal spans of physical blocks
+  /// (the last region absorbs the remainder). Feeds the health engine's
+  /// wear-imbalance rule: uneven per-region erase totals mean GC is burning
+  /// one part of the device.
+  std::vector<double> region_erase_counts(std::size_t regions) const;
+
   const SsdConfig& config() const { return config_; }
   std::uint64_t physical_blocks() const { return num_blocks_; }
 

@@ -78,10 +78,13 @@ SimTime LatencyHistogram::bucket_upper(std::size_t idx) {
 void LatencyHistogram::record(SimTime us) {
   const std::size_t idx = bucket_index(us);
   KDD_DCHECK(idx < buckets_.size());
-  if (idx < buckets_.size()) {
-    ++buckets_[idx];
+  const std::size_t clamped = idx < buckets_.size() ? idx : buckets_.size() - 1;
+  ++buckets_[clamped];
+  if (count_ == 0) {
+    lo_ = hi_ = clamped;
   } else {
-    ++buckets_.back();
+    lo_ = std::min(lo_, clamped);
+    hi_ = std::max(hi_, clamped);
   }
   ++count_;
   sum_us_ += static_cast<double>(us);
@@ -90,17 +93,29 @@ void LatencyHistogram::record(SimTime us) {
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   KDD_CHECK(buckets_.size() == other.buckets_.size());
-  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ == 0) return;
+  for (std::size_t i = other.lo_; i <= other.hi_; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    lo_ = other.lo_;
+    hi_ = other.hi_;
+  } else {
+    lo_ = std::min(lo_, other.lo_);
+    hi_ = std::max(hi_, other.hi_);
+  }
   count_ += other.count_;
   sum_us_ += other.sum_us_;
   max_ = std::max(max_, other.max_);
 }
 
 void LatencyHistogram::reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0ull);
+  if (count_ != 0) {
+    std::fill(buckets_.begin() + static_cast<std::ptrdiff_t>(lo_),
+              buckets_.begin() + static_cast<std::ptrdiff_t>(hi_) + 1, 0ull);
+  }
   count_ = 0;
   sum_us_ = 0.0;
   max_ = 0;
+  lo_ = hi_ = 0;
 }
 
 double LatencyHistogram::mean_us() const {
@@ -113,7 +128,7 @@ SimTime LatencyHistogram::percentile_us(double q) const {
   const auto target =
       static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+  for (std::size_t i = lo_; i <= hi_; ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) return bucket_upper(i);
   }

@@ -67,6 +67,11 @@ class LatencyHistogram {
   std::uint64_t count_ = 0;
   double sum_us_ = 0.0;
   SimTime max_ = 0;
+  // Touched-bucket span since the last reset: reset() and merge() only walk
+  // [lo_, hi_], which keeps rotating per-bucket histograms (obs rolling
+  // windows) cheap when each bucket sees a narrow latency range.
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;
 };
 
 /// Exact-quantile recorder for moderate sample counts (keeps every sample).

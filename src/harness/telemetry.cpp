@@ -7,6 +7,7 @@
 #include "blockdev/ssd_model.hpp"
 #include "kdd/kdd_cache.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -30,10 +31,34 @@ TelemetrySession::TelemetrySession(Options opts)
   obs::TraceBuffer::global().set_capacity(opts_.trace_capacity);
   obs::TraceBuffer::set_sample_period(opts_.trace_sample_period);
   obs::TraceBuffer::global().set_enabled(true);
+
+  // Health + flight ride along by default: the engine registers its gauges
+  // into the just-reset registry, and fault-path triggers need the out_dir
+  // to exist so a mid-run auto dump can land.
+  if (opts_.health) {
+    health_ = std::make_unique<obs::HealthEngine>(opts_.health_config);
+    obs::HealthEngine::install(health_.get());
+  }
+  if (opts_.flight) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.out_dir, ec);
+    obs::FlightRecorder& fr = obs::FlightRecorder::global();
+    fr.clear();
+    fr.set_capacity(opts_.flight_capacity);
+    if (!ec) fr.set_auto_dump_path(opts_.out_dir + "/flight.json");
+    obs::FlightRecorder::set_enabled(true);
+  }
 }
 
 TelemetrySession::~TelemetrySession() {
-  if (!finished_) obs::TraceBuffer::set_enabled(false);
+  if (!finished_) {
+    obs::TraceBuffer::set_enabled(false);
+    if (opts_.flight) {
+      obs::FlightRecorder::set_enabled(false);
+      obs::FlightRecorder::global().set_auto_dump_path("");
+    }
+  }
+  // ~HealthEngine uninstalls itself if still installed.
 }
 
 void TelemetrySession::attach_policy(CachePolicy* policy) {
@@ -112,7 +137,13 @@ void TelemetrySession::poll_sources(obs::WearSample& s) {
   }
 }
 
+void TelemetrySession::flush_health() {
+  health_->observe_requests(staged_t_us_, staged_latency_us_, staged_n_);
+  staged_n_ = 0;
+}
+
 void TelemetrySession::close_bucket(double t) {
+  if (health_ && staged_n_ > 0) flush_health();
   if (bucket_ops_ == 0) return;
   obs::WearSample s;
   s.t = t;
@@ -121,6 +152,21 @@ void TelemetrySession::close_bucket(double t) {
   s.max_latency_us = latency_max_us_;
   poll_sources(s);
   series_.add(s);
+  if (health_) {
+    const std::uint64_t now_us = static_cast<std::uint64_t>(t);
+    if (kdd_) health_->observe_destage_lag(now_us, kdd_->stale_groups());
+    if (ssd_) {
+      const std::vector<double> wear =
+          ssd_->region_erase_counts(opts_.wear_regions);
+      for (std::size_t r = 0; r < wear.size(); ++r) {
+        health_->observe_region_wear(r, wear[r]);
+      }
+    }
+    health_->tick(now_us);
+  }
+  obs::flight_note(obs::FlightKind::kRequestSample, "bucket_close",
+                   static_cast<std::int64_t>(s.max_latency_us),
+                   static_cast<std::int64_t>(s.ops));
   bucket_ops_ = 0;
   latency_sum_us_ = 0.0;
   latency_max_us_ = 0;
@@ -130,6 +176,7 @@ bool TelemetrySession::finish() {
   if (finished_) return true;
   finished_ = true;
   close_bucket(last_t_);
+  if (health_) health_->tick(static_cast<std::uint64_t>(last_t_));
   obs::TraceBuffer::set_enabled(false);
 
   std::error_code ec;
@@ -146,6 +193,15 @@ bool TelemetrySession::finish() {
   ok &= obs::write_text_file(dir + "snapshot.json", obs::snapshot_json(snap) + "\n");
   ok &= series_.write_jsonl(dir + "timeseries.jsonl");
   ok &= obs::TraceBuffer::global().write_chrome_trace(dir + "trace.json");
+  if (health_) {
+    ok &= obs::write_text_file(dir + "health.json", health_->health_json());
+    obs::HealthEngine::install(nullptr);
+  }
+  if (opts_.flight) {
+    ok &= obs::FlightRecorder::global().dump(dir + "flight.json", "finish");
+    obs::FlightRecorder::set_enabled(false);
+    obs::FlightRecorder::global().set_auto_dump_path("");
+  }
   if (!ok) {
     KDD_LOG(Error, "telemetry: failed writing artifacts under %s",
             opts_.out_dir.c_str());

@@ -11,6 +11,14 @@
 //   <out_dir>/snapshot.json      same snapshot as one JSON object
 //   <out_dir>/timeseries.jsonl   WearSeries buckets (traffic deltas + gauges)
 //   <out_dir>/trace.json         Chrome trace_event JSON of the span ring
+//   <out_dir>/health.json        kdd-health-v1 SLO attainment + alert table
+//   <out_dir>/flight.json        kdd-flight-v1 flight-recorder dump
+//
+// The session also runs the continuous health engine (obs/health.hpp) and
+// arms the flight recorder (obs/flight.hpp) by default: every on_request()
+// feeds the rolling SLO windows, bucket closes poll destage lag and
+// per-region SSD wear, and fault-path triggers (double fault, retry
+// exhaustion, power cut) auto-dump <out_dir>/flight.json mid-run.
 //
 // Lifecycle: construct (enables span tracing, resets the global registry so
 // the snapshot covers exactly this run), attach sources, feed completions
@@ -24,11 +32,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cache/cache_stats.hpp"
 #include "cache/policy.hpp"
 #include "common/units.hpp"
+#include "obs/health.hpp"
 #include "obs/wear.hpp"
 
 namespace kdd {
@@ -46,13 +56,26 @@ class TelemetrySession {
     /// Span ring capacity while the session is live. 64 Ki spans keeps the
     /// Chrome trace artifact under ~10 MB; the ring keeps the newest spans.
     std::size_t trace_capacity = 1u << 16;
-    /// Trace 1-in-N requests (see TraceBuffer::set_sample_period). 64 keeps
+    /// Trace 1-in-N requests (see TraceBuffer::set_sample_period). 256 keeps
     /// the instrumented replay inside the perf gate's 5% overhead budget
-    /// with margin for machine noise, while a replay still samples thousands
-    /// of requests; set to 1 to trace every request.
-    std::uint32_t trace_sample_period = 64;
+    /// with margin for machine noise (a sampled request records its full
+    /// span chain — ring appends plus stage aggregates — so the sampling
+    /// period is the main trace-cost knob), while a replay still samples
+    /// hundreds to thousands of requests; set to 1 to trace every request.
+    std::uint32_t trace_sample_period = 256;
     /// What the sample's `t` field counts ("sim_us" for EventSimulator runs).
     std::string t_unit = "sim_us";
+    /// Run the continuous health engine (rolling SLO windows + burn-rate
+    /// alerts) and write <out_dir>/health.json at finish().
+    bool health = true;
+    obs::HealthConfig health_config{};
+    /// Arm the flight recorder with <out_dir>/flight.json as the auto-dump
+    /// target and write a final dump at finish().
+    bool flight = true;
+    std::size_t flight_capacity = 4096;
+    /// Physical-block regions for the wear-imbalance rule (SsdModel
+    /// region_erase_counts granularity).
+    std::size_t wear_regions = 8;
   };
 
   explicit TelemetrySession(Options opts);
@@ -72,11 +95,25 @@ class TelemetrySession {
   /// Inline: this runs once per simulated request, so the common case (bucket
   /// not yet full) must stay a handful of adds; only the bucket close — once
   /// every ops_per_bucket requests — takes the out-of-line path.
+  ///
+  /// Health observations are staged and replayed to the engine in batches of
+  /// kHealthBatch: the engine sees the identical (timestamp, latency)
+  /// sequence — so window contents, eval points and alert edges are
+  /// byte-identical to unbatched feeding — but its rings are touched in one
+  /// warm burst instead of once per request, which the simulator's working
+  /// set would otherwise evict between requests (measured against the perf
+  /// gate's 5% replay budget). A live scraper reads the engine at most one
+  /// batch behind.
   void on_request(std::uint64_t now_us, std::uint64_t latency_us) {
     ++bucket_ops_;
     latency_sum_us_ += static_cast<double>(latency_us);
     if (latency_us > latency_max_us_) latency_max_us_ = latency_us;
     last_t_ = static_cast<double>(now_us);
+    if (health_) {
+      staged_t_us_[staged_n_] = now_us;
+      staged_latency_us_[staged_n_] = latency_us;
+      if (++staged_n_ == kHealthBatch) flush_health();
+    }
     if (bucket_ops_ >= opts_.ops_per_bucket) close_bucket(last_t_);
   }
 
@@ -88,12 +125,21 @@ class TelemetrySession {
   bool finish();
 
   const obs::WearSeries& series() const { return series_; }
+  /// The session's health engine (null when Options::health is false).
+  obs::HealthEngine* health() { return health_.get(); }
 
  private:
+  static constexpr std::size_t kHealthBatch = 128;
+
   void poll_sources(obs::WearSample& sample);
+  /// Replays the staged request observations into the health engine (in
+  /// arrival order, original timestamps). Runs when the staging buffer
+  /// fills, at bucket close, and at finish().
+  void flush_health();
 
   Options opts_;
   obs::WearSeries series_;
+  std::unique_ptr<obs::HealthEngine> health_;
 
   CachePolicy* policy_ = nullptr;
   KddCache* kdd_ = nullptr;
@@ -105,6 +151,11 @@ class TelemetrySession {
   double latency_sum_us_ = 0.0;
   std::uint64_t latency_max_us_ = 0;
   double last_t_ = 0.0;
+
+  // Staged health observations (see on_request).
+  std::uint64_t staged_t_us_[kHealthBatch];
+  std::uint64_t staged_latency_us_[kHealthBatch];
+  std::size_t staged_n_ = 0;
 
   // Previous cumulative values (for per-bucket deltas).
   CacheStats prev_stats_;

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "compress/delta.hpp"
 #include "kdd/kdd_cache.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -296,12 +297,14 @@ bool ConcurrentCache::submit_request(AsyncRequest&& rq, bool block) {
     if (quiesced_ > 0 || engine_stop_) {
       async_rejected_.fetch_add(1, std::memory_order_relaxed);
       engine_metrics().rejected.inc();
+      obs::health_admission_reject();
       return false;
     }
     if (!gate_closed_ && async_q_[s].size() < aopts_.shard_queue_depth) break;
     if (!block) {
       async_rejected_.fetch_add(1, std::memory_order_relaxed);
       engine_metrics().rejected.inc();
+      obs::health_admission_reject();
       return false;
     }
     stalled = true;
@@ -314,6 +317,8 @@ bool ConcurrentCache::submit_request(AsyncRequest&& rq, bool block) {
   if (async_inflight_ >= aopts_.high_watermark) gate_closed_ = true;
   async_submitted_.fetch_add(1, std::memory_order_relaxed);
   engine_metrics().inflight.set(static_cast<std::int64_t>(async_inflight_));
+  obs::health_submission();
+  obs::health_inflight(static_cast<std::int64_t>(async_inflight_));
   lock.unlock();
   engine_cv_.notify_one();
   return true;
@@ -393,18 +398,22 @@ void ConcurrentCache::engine_main(std::size_t worker) {
 
     const auto dequeue_ns = now_ticks();
     for (AsyncRequest& rq : batch) {
-      engine_metrics().queue_wait.observe(
+      const auto wait_ns =
           static_cast<std::uint64_t>(std::max<std::chrono::steady_clock::rep>(
-              0, dequeue_ns - rq.enqueue_ns)));
+              0, dequeue_ns - rq.enqueue_ns));
+      engine_metrics().queue_wait.observe(wait_ns);
+      obs::health_queue_wait(wait_ns);
       const IoStatus st = rq.is_read ? exec_read(rq.lba, rq.out)
                                      : exec_write(rq.lba, rq.payload);
       if (rq.cb) rq.cb(st);
       async_completed_.fetch_add(1, std::memory_order_relaxed);
+      obs::health_completion();
       {
         const std::lock_guard<std::mutex> g(amu_);
         --async_inflight_;
         engine_metrics().inflight.set(
             static_cast<std::int64_t>(async_inflight_));
+        obs::health_inflight(static_cast<std::int64_t>(async_inflight_));
         if (gate_closed_ && async_inflight_ <= aopts_.low_watermark) {
           gate_closed_ = false;
           submit_cv_.notify_all();

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/page_arena.hpp"
+#include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -509,6 +510,7 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
   }
   if (idx != CacheSets::kNone) {
     ++stats_.read_hits;
+    obs::health_cache_hit();
     if (page_down(lba)) {
       // The page's member is failed or not yet past the rebuild cursor, but
       // its newest version is cache-resident (data, or DAZ base + delta):
@@ -552,6 +554,7 @@ IoStatus KddCache::read(Lba lba, std::span<std::uint8_t> out, IoPlan* plan) {
     return IoStatus::kOk;
   }
   ++stats_.read_misses;
+  obs::health_cache_miss();
   IoStatus st = raid_.read_page(lba, out, plan);
   if (st != IoStatus::kOk && page_down(lba)) {
     // Degraded miss in a stale group: the array refuses to reconstruct a
@@ -632,6 +635,7 @@ IoStatus KddCache::write_inner(Lba lba, std::span<const std::uint8_t> data,
     // Write miss: conventional parity update (degraded-capable: folds the
     // group's deltas and retries when the array refuses), then admit.
     ++stats_.write_misses;
+    obs::health_cache_miss();
     const IoStatus st = degraded_write_page(lba, data, plan);
     if (st != IoStatus::kOk) return st;
     if (!admit(lba)) return IoStatus::kOk;
@@ -651,6 +655,7 @@ IoStatus KddCache::write_inner(Lba lba, std::span<const std::uint8_t> data,
   }
 
   ++stats_.write_hits;
+  obs::health_cache_hit();
   return write_hit_locked(lba, data, set, idx, compute_delta(idx, data, plan),
                           plan);
 }
@@ -859,6 +864,7 @@ IoStatus KddCache::write_prepared(Lba lba, std::span<const std::uint8_t> data,
     return write_inner(lba, data, plan);  // recompute the delta inline
   }
   ++stats_.write_hits;
+  obs::health_cache_hit();
   DeltaInfo info;
   info.blob = std::move(delta.blob);
   info.packed = delta.packed;

@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -8,19 +9,54 @@ namespace kdd::obs {
 
 namespace {
 
-/// Family name = metric name up to the first '{' (Prometheus TYPE comments
-/// apply to the family, not to one labelled series).
+/// Family name = metric name up to the first '{' (Prometheus HELP/TYPE
+/// comments apply to the family, not to one labelled series).
 std::string_view family_of(std::string_view name) {
   const std::size_t brace = name.find('{');
   return brace == std::string_view::npos ? name : name.substr(0, brace);
 }
 
-/// Emits "# TYPE <family> <kind>" once per family (input is sorted by name,
-/// so equal families are adjacent).
-void maybe_type_line(std::string& out, std::string_view family,
-                     const char* kind, std::string* last_family) {
-  if (*last_family == family) return;
-  *last_family = std::string(family);
+/// One-line HELP text for the families the repo documents; families outside
+/// the table fall back to a pointer at the catalogue. Keep in sync with
+/// docs/observability.md.
+const char* help_for(std::string_view family) {
+  struct Entry {
+    std::string_view family;
+    const char* help;
+  };
+  static constexpr Entry kTable[] = {
+      {"kdd_request_ns", "end-to-end request latency from root spans"},
+      {"kdd_span_stage_ns_total", "nanoseconds attributed to each pipeline stage"},
+      {"kdd_span_stage_count", "closed spans per pipeline stage"},
+      {"kdd_array_state", "ArrayHealth: 0 healthy, 1 degraded, 2 rebuilding"},
+      {"kdd_rebuild_progress", "rebuild cursor position in permille of groups"},
+      {"kdd_inflight_requests", "outstanding async requests across shard queues"},
+      {"kdd_queue_wait_ns", "submit-to-dequeue wait in the async shard queues"},
+      {"kdd_admission_rejected_total", "async submissions bounced by admission control"},
+      {"kdd_retry_exhausted_total", "with_retry budgets that ran dry"},
+      {"kdd_alerts_active", "1 while the burn-rate rule is firing, else 0"},
+      {"kdd_alerts_fired_total", "fire edges of each burn-rate rule"},
+      {"kdd_slo_latency_burn", "slow-window latency SLO burn rate x1000"},
+      {"kdd_hit_ratio_permille", "rolling fast-window cache hit ratio, permille"},
+      {"kdd_wear_skew_permille", "max/mean per-region SSD wear ratio, permille"},
+  };
+  for (const Entry& e : kTable) {
+    if (e.family == family) return e.help;
+  }
+  return "kdd metric (catalogue: docs/observability.md)";
+}
+
+/// Emits "# HELP" + "# TYPE" once per family across the whole export (the
+/// snapshot is sorted, but labelled histograms can share a family without
+/// being adjacent, so dedupe with a set rather than last-seen).
+void maybe_family_header(std::string& out, std::string_view family,
+                         const char* kind, std::set<std::string>* emitted) {
+  if (!emitted->insert(std::string(family)).second) return;
+  out += "# HELP ";
+  out += family;
+  out += ' ';
+  out += help_for(family);
+  out += '\n';
   out += "# TYPE ";
   out += family;
   out += ' ';
@@ -87,6 +123,8 @@ HistSummary summarize(const LatencyHistogram& h) {
   return s;
 }
 
+}  // namespace
+
 void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
@@ -105,37 +143,55 @@ void append_json_escaped(std::string& out, std::string_view s) {
   }
 }
 
-}  // namespace
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_series_name(std::string_view family, std::string_view key,
+                             std::string_view value) {
+  std::string out(family);
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += prom_escape_label_value(value);
+  out += "\"}";
+  return out;
+}
 
 std::string prometheus_text(const MetricsSnapshot& snap) {
   std::string out;
-  out.reserve(snap.counters.size() * 64 + snap.gauges.size() * 48 +
-              snap.histograms.size() * 256 + 64);
+  out.reserve(snap.counters.size() * 96 + snap.gauges.size() * 80 +
+              snap.histograms.size() * 320 + 64);
 
-  std::string last_family;
+  std::set<std::string> emitted;
   for (const MetricsSnapshot::CounterValue& c : snap.counters) {
-    maybe_type_line(out, family_of(c.name), "counter", &last_family);
+    maybe_family_header(out, family_of(c.name), "counter", &emitted);
     append_line_u64(out, c.name, c.value);
   }
-  last_family.clear();
   for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
-    maybe_type_line(out, family_of(g.name), "gauge", &last_family);
+    maybe_family_header(out, family_of(g.name), "gauge", &emitted);
     append_line_i64(out, g.name, g.value);
   }
   for (const MetricsSnapshot::HistogramValue& h : snap.histograms) {
     const HistSummary s = summarize(h.hist);
     const std::string_view fam = family_of(h.name);
-    out += "# TYPE ";
-    out += fam;
-    out += " summary\n";
+    maybe_family_header(out, fam, "summary", &emitted);
     append_line_u64(out, with_quantile_label(h.name, "0.5"), s.p50);
     append_line_u64(out, with_quantile_label(h.name, "0.9"), s.p90);
     append_line_u64(out, with_quantile_label(h.name, "0.99"), s.p99);
     append_line_f64(out, std::string(h.name) + "_sum", s.sum_us);
     append_line_u64(out, std::string(h.name) + "_count", s.count);
-    out += "# TYPE ";
-    out += fam;
-    out += "_max gauge\n";
+    maybe_family_header(out, std::string(fam) + "_max", "gauge", &emitted);
     append_line_u64(out, std::string(h.name) + "_max", s.max);
   }
   return out;

@@ -2,10 +2,13 @@
 //
 //  * prometheus_text(): Prometheus text exposition format v0.0.4. Counter and
 //    gauge names may carry embedded labels (`kdd_span_stage_count{stage=
-//    "rmw"}`); the exporter splits the family name at '{' for the `# TYPE`
-//    comment and emits each TYPE line once per family. Histograms are
+//    "rmw"}`); the exporter splits the family name at '{' for the `# HELP` /
+//    `# TYPE` comments and emits each pair once per family. Histograms are
 //    exported as summaries (quantile series + _sum/_count/_max) because the
 //    log-bucketed LatencyHistogram answers quantile queries directly.
+//  * prom_series_name(): the one sanctioned way to build a labelled series
+//    name — escapes the label value per the exposition format (backslash,
+//    double quote, newline) so hostile values cannot break line framing.
 //  * snapshot_json(): one JSON object (single line) carrying every counter,
 //    gauge and histogram summary — the machine-readable sibling used by the
 //    JSONL artifacts and the telemetry validator.
@@ -17,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 
@@ -35,5 +39,19 @@ inline constexpr const char* kSnapshotSchema = "kdd-telemetry-snapshot-v1";
 
 /// Writes `body` to `path`, returns false on any I/O failure.
 bool write_text_file(const std::string& path, const std::string& body);
+
+/// Escapes a Prometheus label *value*: backslash -> `\\`, double quote ->
+/// `\"`, newline -> `\n` (the three escapes the exposition format defines).
+std::string prom_escape_label_value(std::string_view value);
+
+/// Builds `family{key="value"}` with the value escaped. Registration sites
+/// that embed labels in metric names (span stages, alert rules) go through
+/// this so a hostile value cannot terminate the label set or split the line.
+std::string prom_series_name(std::string_view family, std::string_view key,
+                             std::string_view value);
+
+/// Appends `s` to `out` with JSON string escaping (quote, backslash, control
+/// characters). Shared by the snapshot/flight/health JSON writers.
+void append_json_escaped(std::string& out, std::string_view s);
 
 }  // namespace kdd::obs

@@ -1,0 +1,179 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/export.hpp"
+
+namespace kdd::obs {
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kStateTransition: return "state_transition";
+    case FlightKind::kFault: return "fault";
+    case FlightKind::kPowerCut: return "power_cut";
+    case FlightKind::kRetryExhausted: return "retry_exhausted";
+    case FlightKind::kDoubleFault: return "double_fault";
+    case FlightKind::kAlertFired: return "alert_fired";
+    case FlightKind::kAlertResolved: return "alert_resolved";
+    case FlightKind::kRequestSample: return "request_sample";
+    case FlightKind::kScrubRepair: return "scrub_repair";
+    case FlightKind::kDumpMark: return "dump";
+    case FlightKind::kNumKinds: break;
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+std::atomic<bool>& FlightRecorder::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = events > 0 ? events : 1;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+void FlightRecorder::note_locked(FlightKind kind, const char* detail,
+                                 std::int64_t a, std::int64_t b) {
+  FlightEvent ev;
+  ev.seq = seq_++;
+  ev.t_us = now_us_.load(std::memory_order_relaxed);
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  if (detail != nullptr) {
+    std::strncpy(ev.detail, detail, sizeof ev.detail - 1);
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::note(FlightKind kind, const char* detail, std::int64_t a,
+                          std::int64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  note_locked(kind, detail, a, b);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  seq_ = 0;
+  dropped_ = 0;
+}
+
+std::string FlightRecorder::json_locked(const char* reason) const {
+  std::string out = "{\"schema\":\"kdd-flight-v1\",\"reason\":\"";
+  append_json_escaped(out, reason != nullptr ? reason : "");
+  out += "\",\"t_unit\":\"sim_us\",\"dropped\":";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(dropped_));
+  out += buf;
+  out += ",\"events\":[";
+  const auto emit = [&](const FlightEvent& ev, bool first) {
+    if (!first) out += ',';
+    std::snprintf(buf, sizeof buf, "{\"seq\":%llu,\"t_us\":%llu,\"kind\":\"",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<unsigned long long>(ev.t_us));
+    out += buf;
+    out += flight_kind_name(ev.kind);
+    std::snprintf(buf, sizeof buf, "\",\"a\":%lld,\"b\":%lld,\"detail\":\"",
+                  static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+    out += buf;
+    append_json_escaped(out, ev.detail);
+    out += "\"}";
+  };
+  bool first = true;
+  if (wrapped_) {
+    for (std::size_t i = next_; i < ring_.size(); ++i) {
+      emit(ring_[i], first);
+      first = false;
+    }
+    for (std::size_t i = 0; i < next_; ++i) {
+      emit(ring_[i], first);
+      first = false;
+    }
+  } else {
+    for (const FlightEvent& ev : ring_) {
+      emit(ev, first);
+      first = false;
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FlightRecorder::json(const char* reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return json_locked(reason);
+}
+
+bool FlightRecorder::dump(const std::string& path, const char* reason) {
+  std::string body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    note_locked(FlightKind::kDumpMark, reason, 0, 0);
+    body = json_locked(reason);
+  }
+  return write_text_file(path, body);
+}
+
+void FlightRecorder::set_auto_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_dump_path_ = std::move(path);
+}
+
+bool FlightRecorder::auto_dump(const char* reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = auto_dump_path_;
+  }
+  if (path.empty()) return false;
+  return dump(path, reason);
+}
+
+}  // namespace kdd::obs

@@ -1,0 +1,137 @@
+// Black-box flight recorder: a bounded, lock-cheap ring of the most recent
+// notable events — array state transitions, injected/detected faults, alert
+// fire/resolve edges, retry exhaustion, power cuts, sampled request
+// summaries — kept in memory at all times and dumped to `flight.json`
+// (schema kdd-flight-v1) when something goes badly wrong: a double fault
+// beyond the array's tolerance, a retry budget running dry, a
+// torture-harness power cut, or an explicit `kddctl dump`.
+//
+// Cost model mirrors the span machinery (obs/span.hpp): recording is gated
+// on one relaxed atomic load, so the note() sites stay compiled into the
+// fault paths unconditionally and cost ~1 ns while the recorder is off.
+// When on, a note takes a mutex — fault paths are never the per-ns hot
+// path — and copies a fixed-size POD event into the ring (oldest dropped
+// first, with a drop counter so truncation is visible in the dump).
+//
+// Timestamps: core layers have no clock of their own. The harness (or the
+// test) anchors the recorder to the simulator clock via set_now_us(); every
+// note stamps the last anchored time, so drill and replay dumps are
+// deterministic and line up with the health engine's windows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kdd::obs {
+
+enum class FlightKind : std::uint8_t {
+  kStateTransition,  ///< ArrayHealth changed (a = new state, b = old state)
+  kFault,            ///< injected/detected device fault (a = page)
+  kPowerCut,         ///< power rail cut mid-write (a = page)
+  kRetryExhausted,   ///< a with_retry budget ran dry
+  kDoubleFault,      ///< read beyond the array's fault tolerance (a = group)
+  kAlertFired,       ///< health-engine alert raised (detail = rule)
+  kAlertResolved,    ///< health-engine alert cleared (detail = rule)
+  kRequestSample,    ///< sampled request summary (a = latency_us)
+  kScrubRepair,      ///< scrub pass repaired parity (a = groups repaired)
+  kDumpMark,         ///< a dump was requested (detail = reason)
+  kNumKinds
+};
+
+const char* flight_kind_name(FlightKind k);
+
+/// Fixed-size POD event. `detail` is a truncated NUL-terminated tag chosen
+/// by the call site ("media_error_read", "latency_burn", ...); a/b are two
+/// small operands whose meaning depends on the kind.
+struct FlightEvent {
+  std::uint64_t seq = 0;   ///< monotone per-recorder sequence number
+  std::uint64_t t_us = 0;  ///< last sim-clock anchor at note() time
+  FlightKind kind = FlightKind::kFault;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  char detail[48] = {};
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// Process-wide recording gate; one relaxed load on the note() fast path.
+  static void set_enabled(bool on);
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in events (oldest dropped first). Default 4096.
+  void set_capacity(std::size_t events);
+
+  /// Anchors subsequent notes to a simulator timestamp (monotone clamp: the
+  /// recorder never moves backwards, so interleaved wall-clock-free callers
+  /// cannot reorder the dump).
+  void set_now_us(std::uint64_t t_us) {
+    std::uint64_t cur = now_us_.load(std::memory_order_relaxed);
+    while (t_us > cur &&
+           !now_us_.compare_exchange_weak(cur, t_us,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t now_us() const { return now_us_.load(std::memory_order_relaxed); }
+
+  void note(FlightKind kind, const char* detail, std::int64_t a = 0,
+            std::int64_t b = 0);
+
+  /// Copies out the buffered events in chronological (ring) order.
+  std::vector<FlightEvent> events() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Serialises the ring as one kdd-flight-v1 JSON object.
+  std::string json(const char* reason) const;
+  /// json() to a file; appends a kDumpMark event first so the dump records
+  /// its own cause. Returns false if the file could not be written.
+  bool dump(const std::string& path, const char* reason);
+
+  /// Arms automatic dumping: fault-path triggers (double fault, retry
+  /// exhaustion, power cut) call auto_dump(), which writes to the armed path
+  /// or does nothing when unarmed. The harness arms <out_dir>/flight.json.
+  void set_auto_dump_path(std::string path);
+  bool auto_dump(const char* reason);
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+
+  void note_locked(FlightKind kind, const char* detail, std::int64_t a,
+                   std::int64_t b);
+  std::string json_locked(const char* reason) const;
+
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  std::size_t capacity_ = 4096;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::string auto_dump_path_;
+  std::atomic<std::uint64_t> now_us_{0};
+};
+
+/// Fault-path helper: one relaxed load when the recorder is off.
+inline void flight_note(FlightKind kind, const char* detail,
+                        std::int64_t a = 0, std::int64_t b = 0) {
+  if (FlightRecorder::enabled()) FlightRecorder::global().note(kind, detail, a, b);
+}
+
+/// Trigger helper for the catastrophic paths: records the event, then dumps
+/// to the armed auto-dump path (if any).
+inline void flight_note_and_dump(FlightKind kind, const char* detail,
+                                 std::int64_t a = 0, std::int64_t b = 0) {
+  if (!FlightRecorder::enabled()) return;
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.note(kind, detail, a, b);
+  fr.auto_dump(detail);
+}
+
+}  // namespace kdd::obs

@@ -119,11 +119,15 @@ void TraceBuffer::record(const SpanEvent& ev) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
-    next_ = ring_.size() % capacity_;
+    next_ = ring_.size() == capacity_ ? 0 : ring_.size();
     return;
   }
+  // Branch instead of modulo: capacity is a runtime value, and the divide
+  // showed up in the perf gate's instrumented replay (every sampled span
+  // lands here).
   ring_[next_] = ev;
-  next_ = (next_ + 1) % capacity_;
+  ++next_;
+  if (next_ == capacity_) next_ = 0;
   wrapped_ = true;
   ++dropped_;
 }

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/page_arena.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "raid/gf256.hpp"
 
@@ -244,6 +245,9 @@ IoStatus RaidArray::reconstruct_data(GroupId g, std::uint32_t idx,
     std::copy(di->begin(), di->end(), out.begin());
     return IoStatus::kOk;
   }
+  obs::flight_note_and_dump(obs::FlightKind::kDoubleFault, "reconstruct_read",
+                            static_cast<std::int64_t>(g),
+                            static_cast<std::int64_t>(lost_data.size()));
   return IoStatus::kFailed;  // beyond the configured fault tolerance
 }
 

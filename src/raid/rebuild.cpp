@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace kdd {
@@ -158,6 +160,13 @@ std::uint64_t RebuildEngine::progress_permille() const {
 
 void RebuildEngine::publish_state() const {
   EngineMetrics& m = engine_metrics();
+  const int state = static_cast<int>(health());
+  if (state != published_state_) {
+    obs::flight_note(obs::FlightKind::kStateTransition, "array_health", state,
+                     published_state_);
+    obs::health_array_state(state);
+    published_state_ = state;
+  }
   m.array_state.set(static_cast<std::int64_t>(health()));
   m.rebuild_progress.set(static_cast<std::int64_t>(progress_permille()));
   if (spares_) m.spares_available.set(spares_->available());

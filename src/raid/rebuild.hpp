@@ -145,6 +145,9 @@ class RebuildEngine {
   std::function<bool(GroupId, GroupId)> barrier_;
   std::function<void(const RebuildCheckpoint&)> sink_;
   std::uint64_t ops_since_step_ = 0;
+  /// Last state pushed by publish_state(); lets the (const) publisher emit
+  /// health/flight transition events only on an actual edge.
+  mutable int published_state_ = -1;
   std::uint64_t dwell_[3] = {0, 0, 0};
   std::uint64_t rebuilds_completed_ = 0;
   std::uint64_t groups_rebuilt_ = 0;

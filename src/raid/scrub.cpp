@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace kdd {
@@ -69,7 +70,12 @@ std::uint64_t ScrubScheduler::tick() {
   const std::uint64_t repaired =
       array_->scrub_and_repair_range(begin, end, /*skip_stale=*/true);
   repairs_ += repaired;
-  if (repaired > 0) scrub_metrics().repairs.inc(repaired);
+  if (repaired > 0) {
+    scrub_metrics().repairs.inc(repaired);
+    obs::flight_note(obs::FlightKind::kScrubRepair, "scrub_pass",
+                     static_cast<std::int64_t>(repaired),
+                     static_cast<std::int64_t>(begin));
+  }
   const std::uint64_t scanned = end - begin;
   groups_scrubbed_ += scanned;
   scrub_metrics().groups.inc(scanned);

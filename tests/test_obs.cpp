@@ -66,6 +66,42 @@ TEST(LatencyHistogram, RelativeErrorBoundAcrossOctaves) {
   }
 }
 
+TEST(LatencyHistogram, HighOctavePercentilesKeepErrorBound) {
+  // Octaves far above any realistic latency (2^35 µs ~= 9.5 hours and up,
+  // to the top of the 40-octave bucket table at 2^44): the 1/64 contract
+  // must hold there too — the health engine merges sub-histograms whose
+  // values can reach these magnitudes.
+  for (int oct = 35; oct <= 44; ++oct) {
+    const SimTime base = SimTime{1} << oct;
+    for (const SimTime v : {base - 1, base, base + 1, base + base / 3,
+                            2 * base - 1}) {
+      LatencyHistogram h;
+      h.record(v);
+      const SimTime q = h.percentile_us(0.5);
+      EXPECT_GE(q, v) << "oct=" << oct << " v=" << v;
+      const double rel = (static_cast<double>(q) - static_cast<double>(v)) /
+                         static_cast<double>(v);
+      EXPECT_LE(rel, kHistMaxRelError) << "oct=" << oct << " v=" << v;
+      EXPECT_EQ(h.max_us(), v);
+    }
+  }
+  // Beyond the table the histogram saturates into the top bucket instead of
+  // indexing out of bounds: the percentile clamps to the table's upper
+  // bound while max_us() stays exact.
+  constexpr SimTime kTableTop = (SimTime{1} << 45) - 1;
+  LatencyHistogram sat;
+  sat.record(SimTime{1} << 50);
+  EXPECT_EQ(sat.percentile_us(0.5), kTableTop);
+  EXPECT_EQ(sat.max_us(), SimTime{1} << 50);
+  // A mixed population spanning 40 octaves still ranks correctly.
+  LatencyHistogram h;
+  h.record(100);
+  h.record(SimTime{1} << 20);
+  h.record(SimTime{1} << 40);
+  EXPECT_EQ(h.percentile_us(0.01), 100u);
+  EXPECT_GE(h.percentile_us(0.99), SimTime{1} << 40);
+}
+
 TEST(LatencyHistogram, PercentilesOnUniformRamp) {
   LatencyHistogram h;
   constexpr std::uint64_t kN = 100000;
@@ -261,6 +297,59 @@ TEST(Exporters, PrometheusLabelledFamiliesEmitOneTypeLine) {
   EXPECT_NE(text.find("kdd_span_stage_count{stage=\"rmw\"} 1"), std::string::npos);
   EXPECT_NE(text.find("kdd_span_stage_count{stage=\"parity\"} 2"),
             std::string::npos);
+}
+
+TEST(Exporters, LabelValueEscaping) {
+  EXPECT_EQ(obs::prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prom_escape_label_value("a\nb"), "a\\nb");
+  // All three at once, in the order they appear.
+  EXPECT_EQ(obs::prom_escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Exporters, SeriesNameBuildsEscapedLabel) {
+  EXPECT_EQ(obs::prom_series_name("kdd_alerts_active", "rule", "latency_burn"),
+            "kdd_alerts_active{rule=\"latency_burn\"}");
+  EXPECT_EQ(obs::prom_series_name("f", "k", "bad\"v"), "f{k=\"bad\\\"v\"}");
+}
+
+TEST(Exporters, HostileLabelValuesKeepExpositionWellFormed) {
+  // A label value carrying quotes, backslashes and newlines must neither
+  // break the series line nor smuggle in extra lines: every line of the
+  // exposition is a comment or exactly `name{...} value` / `name value`.
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter(obs::prom_series_name("kdd_hostile_total", "rule",
+                                            "evil\"} 99\ninjected 1\\")),
+          5);
+  reg.gauge_set(reg.gauge("kdd_plain_gauge"), 2);
+  const std::string text = obs::prometheus_text(reg.snapshot());
+
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lines;
+    if (line.rfind("# ", 0) == 0) continue;  // HELP/TYPE comments
+    // A series line: metric name, optional {labels} with only escaped
+    // quotes inside, one space, one value token.
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string value = line.substr(sp + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    EXPECT_EQ(value.find_first_not_of("-0123456789.eginf+"),
+              std::string::npos)
+        << line;
+  }
+  // The injected payload never starts a line of its own.
+  EXPECT_EQ(text.find("\ninjected"), std::string::npos);
+  // And the hostile series round-trips with its escapes intact.
+  EXPECT_NE(text.find("rule=\"evil\\\"} 99\\ninjected 1\\\\\"} 5"),
+            std::string::npos);
+  EXPECT_GE(lines, 4u);
 }
 
 TEST(Exporters, SnapshotJsonCarriesSchemaAndValues) {
