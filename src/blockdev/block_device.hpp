@@ -61,6 +61,15 @@ struct AsyncIo {
 /// Completion callback for submit(): invoked exactly once per submission.
 using AsyncCallback = std::function<void(IoStatus)>;
 
+/// One entry of a vectored (scatter-gather) write. The target pages may be
+/// scattered in the logical address space — the point of write_multi is that
+/// flash devices lay the whole batch down as one physically sequential
+/// program burst, so a segment flush costs one host command instead of N.
+struct PageWrite {
+  Lba page = 0;
+  std::span<const std::uint8_t> data{};  ///< kPageSize bytes
+};
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -70,6 +79,25 @@ class BlockDevice {
 
   /// Writes one page at `page` from `data` (must be kPageSize bytes).
   virtual IoStatus write(Lba page, std::span<const std::uint8_t> data) = 0;
+
+  /// Vectored write: persists `batch` in order as one logical command.
+  /// Devices with no native batching fall back to N single writes; devices
+  /// that do override it (SsdModel, FaultInjectingDevice) preserve the
+  /// prefix-persistence contract: on a non-kOk return, exactly the first
+  /// `*pages_done` entries are durable, the failing entry is *at most*
+  /// partially persisted, and no later entry touched the media.
+  virtual IoStatus write_multi(std::span<const PageWrite> batch,
+                               std::size_t* pages_done = nullptr) {
+    std::size_t done = 0;
+    IoStatus st = IoStatus::kOk;
+    for (const PageWrite& w : batch) {
+      st = write(w.page, w.data);
+      if (st != IoStatus::kOk) break;
+      ++done;
+    }
+    if (pages_done) *pages_done = done;
+    return st;
+  }
 
   /// Submit-and-complete interface: enqueue `io` and return; `cb` fires when
   /// the I/O completes. The default is the trivially-correct synchronous

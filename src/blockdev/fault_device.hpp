@@ -74,6 +74,14 @@ class FaultInjectingDevice final : public BlockDevice {
 
   IoStatus read(Lba page, std::span<std::uint8_t> out) override;
   IoStatus write(Lba page, std::span<const std::uint8_t> data) override;
+  /// Vectored write with per-page fault semantics: each entry passes the same
+  /// rail/transient/power-cut checks a single write would, in order, so an
+  /// armed power cut can fire *mid-vector* — the preceding entries persist
+  /// fully (flushed to the inner device in batched runs, preserving its
+  /// sequential-write accounting), the countdown-th page is torn exactly like
+  /// a single torn write, and no later entry touches the media.
+  IoStatus write_multi(std::span<const PageWrite> batch,
+                       std::size_t* pages_done = nullptr) override;
   std::uint64_t num_pages() const override { return inner_->num_pages(); }
   void trim(Lba page) override;
 

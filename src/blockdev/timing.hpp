@@ -12,7 +12,10 @@
 
 namespace kdd {
 
-enum class IoKind { kRead, kWrite };
+/// kWrite models a random single-page program; kWriteSeq a page inside a
+/// large sequential burst (segment flush), where the device streams pages
+/// across planes without per-command setup — cheaper per page.
+enum class IoKind { kRead, kWrite, kWriteSeq };
 
 /// 7,200 RPM disk: seek (distance-dependent), rotational latency
 /// (uniform in one revolution; sequential hits skip both), transfer.
@@ -46,6 +49,10 @@ class HddTimingModel {
 struct SsdTimingConfig {
   SimTime read_us = 90;
   SimTime program_us = 250;
+  /// Per-page cost inside a sequential burst (kWriteSeq): the controller
+  /// pipelines data transfer with programming, so each page costs well under
+  /// a standalone random program.
+  SimTime seq_program_us = 70;
   SimTime jitter_us = 15;
   std::uint32_t channels = 8;
 };

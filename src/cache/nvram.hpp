@@ -164,6 +164,12 @@ struct NvramState {
   std::uint32_t rebuild_disk = 0;
   std::uint64_t rebuild_cursor = 0;
   bool rebuild_active = false;
+
+  // Segment staging (ISSUE 9): id of the currently-open segment. Bumped only
+  // after a seal completes on powered media, so after a crash it still names
+  // the segment whose flush may have been in flight — recovery reads that
+  // segment's header ring slot and accepts or discards it wholesale.
+  std::uint64_t segment_seq = 0;
 };
 
 }  // namespace kdd

@@ -22,6 +22,11 @@ TortureConfig::TortureConfig() {
   ssd.pages_per_block = 16;
   policy.ssd_pages = 256;
   policy.ways = 8;
+  // Segment staging is ON in torture so the uniform crash point also lands
+  // inside multi-page segment flushes (write_multi tears mid-vector); a small
+  // segment keeps seals frequent at this scale.
+  policy.segment_staging = true;
+  policy.segment_pages = 16;
 }
 
 /// One seed's worth of stack. Everything but the KddCache survives a power
@@ -168,6 +173,16 @@ TortureReport TortureRunner::run_case(std::uint64_t seed, std::uint64_t cut_afte
   rig.kdd = std::make_unique<KddCache>(config_.policy, &rig.array, &rig.ssd,
                                        &rig.nvram, /*recover=*/true);
   rig.cache_faults()->attach_rail(rig.rail);
+
+  // Segment-staging recovery accounting. At most ONE segment can be in
+  // flight at a cut, so anything else means the epoch bookkeeping is broken.
+  const SegmentStats& ss = rig.kdd->cache_ssd().segment_stats();
+  rep.segments_recovered = ss.recovered_segments;
+  rep.segments_discarded = ss.discarded_segments;
+  rep.segment_pages_discarded = ss.discarded_pages;
+  if (ss.recovered_segments + ss.discarded_segments > 1) {
+    rep.violations.push_back("recovery touched more than the one in-flight segment");
+  }
 
   verify_against_model(rig, &rep);
 

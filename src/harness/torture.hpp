@@ -75,6 +75,11 @@ struct TortureReport {
   /// (cache SSD + every RAID disk): proves the cut landed mid-workload.
   std::uint64_t domain_power_cut_rejects = 0;
 
+  // ---- segment staging (the cut can land mid-segment-flush) ---------------
+  std::uint64_t segments_recovered = 0;  ///< in-flight segment proved complete
+  std::uint64_t segments_discarded = 0;  ///< unsealed segment invalidated
+  std::uint64_t segment_pages_discarded = 0;  ///< exactly its header's page list
+
   // ---- run_rebuild_case only (power cut during an online rebuild) ---------
   std::uint64_t rebuild_cursor_at_cut = 0;     ///< NVRAM checkpoint at the tear
   std::uint64_t rebuild_cursor_at_resume = 0;  ///< cursor the engine resumed at

@@ -476,6 +476,10 @@ bool ConcurrentCache::handle_disk_failure_online(std::uint32_t disk) {
   bool started;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    // The quiesce barrier also covers the staging segment: with submissions
+    // parked, seal whatever is open so the rebuild engine's stripe windows
+    // start from an SSD that holds every committed page.
+    kdd->force_seal(nullptr);
     started = kdd->handle_disk_failure_online(disk);
   }
   resume_submissions();

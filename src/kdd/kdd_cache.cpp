@@ -67,6 +67,10 @@ KddCache::KddCache(const PolicyConfig& config, const RaidGeometry& geo,
   if (config.selective_admission) {
     ghost_ = std::make_unique<GhostLru>(sets_.pages());
   }
+  if (config.segment_staging) {
+    setup_segment_staging();
+    ssd_.activate_segment_staging();  // counter mode: nothing to recover
+  }
 }
 
 KddCache::KddCache(const PolicyConfig& config, RaidArray* array, SsdModel* ssd,
@@ -83,7 +87,12 @@ KddCache::KddCache(const PolicyConfig& config, RaidArray* array, SsdModel* ssd,
   if (config.selective_admission) {
     ghost_ = std::make_unique<GhostLru>(sets_.pages());
   }
+  // Staging is enabled (so recover() can replay the in-flight segment) but
+  // only activated once the cache state is consistent: recovery's own reads
+  // and healing writes must hit the device directly.
+  if (config.segment_staging) setup_segment_staging();
   if (do_recover) recover();
+  if (config.segment_staging) ssd_.activate_segment_staging();
 }
 
 KddCache::~KddCache() {
@@ -93,6 +102,15 @@ KddCache::~KddCache() {
     rebuild_->set_stripe_barrier(nullptr);
     rebuild_->set_checkpoint_sink(nullptr);
   }
+}
+
+void KddCache::setup_segment_staging() {
+  const CacheLayoutPlan plan = kdd_layout(config_);
+  SegmentConfig sc;
+  sc.segment_pages = config_.segment_pages;
+  sc.ring_pages = plan.segment_ring_pages;
+  sc.ring_base = plan.metadata_pages + plan.cache_pages;
+  ssd_.enable_segment_staging(sc, &nvram_->segment_seq);
 }
 
 void KddCache::bind_rebuild_engine(RebuildEngine* engine) {
@@ -133,6 +151,9 @@ bool KddCache::destage_range(GroupId begin, GroupId end, IoPlan* plan) {
     }
     if (!clean_group(g, plan)) all_clear = false;
   }
+  // Stripe barrier contract: the rebuild engine is about to trust the SSD
+  // contents for this window, so nothing may linger in the RAM segment.
+  ssd_.force_seal(plan);
   return all_clear;
 }
 
@@ -1424,6 +1445,8 @@ void KddCache::flush(IoPlan* plan) {
   clean_all(plan);
   KDD_CHECK(nvram_->staging.empty());
   log_.commit_buffer(plan);
+  // Flush barrier: every committed page must be on the SSD, not in RAM.
+  ssd_.force_seal(plan);
 }
 
 void KddCache::on_idle(IoPlan* plan) {
@@ -1431,6 +1454,9 @@ void KddCache::on_idle(IoPlan* plan) {
   // instead of recording every pass wholesale.
   const obs::TraceContextScope trace(obs::Stage::kClean);
   clean_all(plan);
+  // An idle device is the cheapest time to drain a partial segment, and it
+  // bounds how long a committed page can sit in RAM.
+  ssd_.force_seal(plan);
   // A quiet array is the cheapest time to make rebuild progress: one full
   // unthrottled chunk per idle event.
   if (rebuild_ && rebuild_->health() != ArrayHealth::kHealthy) {
@@ -1452,6 +1478,7 @@ std::uint64_t KddCache::handle_disk_failure(std::uint32_t disk) {
   // First bring every stale parity up to date through the parity_update
   // interface, then rebuild at the RAID layer.
   clean_all(nullptr);
+  ssd_.force_seal(nullptr);
   return raid_.array()->rebuild_disk(disk);
 }
 
@@ -1566,6 +1593,11 @@ void KddCache::recover() {
   // trace regardless of the sampling period.
   const obs::TraceContextScope trace(obs::Stage::kRecovery, /*always_sample=*/true);
   kdd_metrics().recoveries.inc();
+  // 0. Segment staging: accept or discard the segment whose flush may have
+  //    been in flight at the cut. Must run before the log replay and the
+  //    torn-page audit — a discarded segment marks exactly its listed pages
+  //    unreadable, which the steps below then skip, retire or heal.
+  ssd_.recover_staging();
   // 1. Head/tail counters come from NVRAM (already in nvram_). Rebuild the
   //    log's in-memory page lists and replay the committed entries.
   log_.rebuild_after_recovery();

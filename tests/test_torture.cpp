@@ -29,6 +29,9 @@ TEST(Torture, TwoHundredRandomCrashPointsZeroViolations) {
   std::uint64_t torn_writes = 0;
   std::uint64_t rejected_ops = 0;
   std::size_t pages_verified = 0;
+  std::uint64_t seg_recovered = 0;
+  std::uint64_t seg_discarded = 0;
+  std::uint64_t seg_pages_discarded = 0;
   for (std::uint64_t seed = 1; seed <= 200; ++seed) {
     const TortureReport rep = runner.run_seed(seed);
     expect_clean(rep);
@@ -37,6 +40,9 @@ TEST(Torture, TwoHundredRandomCrashPointsZeroViolations) {
     torn_writes += rep.cache_faults.torn_writes;
     rejected_ops += rep.domain_power_cut_rejects;
     pages_verified += rep.pages_verified;
+    seg_recovered += rep.segments_recovered;
+    seg_discarded += rep.segments_discarded;
+    seg_pages_discarded += rep.segment_pages_discarded;
   }
   // Every seed must actually have crashed (the cut index is < the dry-run
   // write count by construction) and torn exactly one cache page write.
@@ -46,6 +52,14 @@ TEST(Torture, TwoHundredRandomCrashPointsZeroViolations) {
   // lands mid-workload rather than after it.
   EXPECT_GT(rejected_ops, 0u);
   EXPECT_GT(pages_verified, 0u);
+  // With segment staging on (the torture config enables it), most cache
+  // media writes happen inside a vectored segment flush, so a uniform crash
+  // point must land mid-flush for many seeds: the CRC check must have
+  // invalidated torn segments — and discarded at least one page each —
+  // rather than every cut conveniently missing the segment path.
+  EXPECT_GT(seg_discarded, 0u);
+  EXPECT_GE(seg_pages_discarded, seg_discarded);
+  EXPECT_GT(seg_recovered + seg_discarded, 0u);
 }
 
 // Corner case: the very first media write of the run is the torn one — the
