@@ -17,8 +17,9 @@ enum class SsdWriteKind : std::uint8_t {
   kWriteUpdate,  ///< full-page update of an already-cached page (WT/LeavO)
   kDeltaCommit,  ///< packed delta page committed to the DEZ (KDD)
   kMetadata,     ///< persistent cache metadata
+  kGcRelocate,   ///< live deltas rewritten by the delta-zone GC/defrag (KDD)
 };
-inline constexpr int kNumSsdWriteKinds = 5;
+inline constexpr int kNumSsdWriteKinds = 6;
 
 /// Stable lower_snake names for the kinds ("read_fill", ...). Used as metric
 /// labels and JSONL field suffixes, so renames are schema changes.
@@ -29,6 +30,7 @@ inline const char* ssd_write_kind_name(SsdWriteKind k) {
     case SsdWriteKind::kWriteUpdate: return "write_update";
     case SsdWriteKind::kDeltaCommit: return "delta_commit";
     case SsdWriteKind::kMetadata: return "metadata";
+    case SsdWriteKind::kGcRelocate: return "gc_relocate";
   }
   return "?";
 }
